@@ -1,0 +1,58 @@
+"""Harness-wide fixtures: per-figure result collection and reporting.
+
+Each figure's benchmark file appends rows to a module-level collector;
+at the end of the session the collector prints one table per figure so
+``pytest benchmarks/ --benchmark-only`` regenerates every table/figure
+of the paper in textual form.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.analysis import format_table  # noqa: E402
+
+_FIGURES: Dict[str, dict] = {}
+
+
+class FigureCollector:
+    """Accumulates rows for one figure across benchmark tests."""
+
+    def __init__(self, figure_id: str, title: str, headers: List[str]):
+        self.figure_id = figure_id
+        self.title = title
+        self.headers = headers
+        self.rows: List[list] = []
+
+    def add_row(self, *row) -> None:
+        self.rows.append(list(row))
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows,
+                            title=f"{self.figure_id}: {self.title}")
+
+
+def get_figure(figure_id: str, title: str,
+               headers: List[str]) -> FigureCollector:
+    if figure_id not in _FIGURES:
+        _FIGURES[figure_id] = FigureCollector(figure_id, title, headers)
+    return _FIGURES[figure_id]
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _FIGURES:
+        return
+    out = session.config.get_terminal_writer()
+    out.line("")
+    out.sep("=", "reproduced tables/figures")
+    for figure_id in sorted(_FIGURES):
+        out.line("")
+        out.line(_FIGURES[figure_id].render())
+    out.line("")

@@ -1,0 +1,76 @@
+"""Fig. 7: warping vs non-warping simulation time, scaled L vs XL.
+
+Paper shape: non-warping time grows proportionally with the access
+count; for warping-friendly kernels the warping time grows sub-linearly
+(sometimes it even shrinks, when the larger size exposes longer warps).
+"""
+
+import pytest
+
+from common import SCALED_L, SCALED_XL, scaled_l1
+from conftest import get_figure
+
+from repro.cache.cache import Cache
+from repro.polybench import build_kernel
+from repro.simulation import simulate_nonwarping, simulate_warping
+
+# Representative subset: the five stencils the paper highlights plus
+# non-warping kernels for contrast (full 30x2 sweeps would multiply the
+# harness runtime several-fold without changing the shape).
+KERNELS = ["jacobi-2d", "seidel-2d", "adi", "fdtd-2d", "jacobi-1d",
+           "gemm", "atax", "trisolv", "floyd-warshall", "durbin"]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig07_scaling(benchmark, kernel):
+    config = scaled_l1("plru")
+    scop_l = build_kernel(kernel, SCALED_L[kernel])
+    scop_xl = build_kernel(kernel, SCALED_XL[kernel])
+
+    def run():
+        results = {}
+        for label, scop in (("L", scop_l), ("XL", scop_xl)):
+            nonwarp = simulate_nonwarping(scop, Cache(config))
+            warp = simulate_warping(scop, config)
+            assert warp.l1_misses == nonwarp.l1_misses
+            results[label] = (nonwarp, warp)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    (nw_l, w_l), (nw_xl, w_xl) = results["L"], results["XL"]
+    access_growth = nw_xl.accesses / max(nw_l.accesses, 1)
+    nonwarp_growth = nw_xl.wall_time / max(nw_l.wall_time, 1e-9)
+    warp_growth = w_xl.wall_time / max(w_l.wall_time, 1e-9)
+    get_figure(
+        "Fig07", "simulation time scaling, scaled L -> XL",
+        ["kernel", "accesses L", "accesses XL", "access growth",
+         "non-warping time growth", "warping time growth",
+         "XL non-warped %"],
+    ).add_row(kernel, nw_l.accesses, nw_xl.accesses,
+              round(access_growth, 2), round(nonwarp_growth, 2),
+              round(warp_growth, 2),
+              round(100 * w_xl.non_warped_share, 1))
+    benchmark.extra_info["warp_growth"] = round(warp_growth, 2)
+    benchmark.extra_info["nonwarp_growth"] = round(nonwarp_growth, 2)
+
+
+def test_fig07_shape_sublinear_for_stencils(benchmark):
+    """Shape: for at least one stencil, warping time grows much slower
+    than the access count."""
+    config = scaled_l1("plru")
+
+    def run():
+        best = None
+        for kernel in ("jacobi-2d", "seidel-2d"):
+            scop_l = build_kernel(kernel, SCALED_L[kernel])
+            scop_xl = build_kernel(kernel, SCALED_XL[kernel])
+            w_l = simulate_warping(scop_l, config)
+            w_xl = simulate_warping(scop_xl, config)
+            growth = w_xl.wall_time / max(w_l.wall_time, 1e-9)
+            access_growth = w_xl.accesses / max(w_l.accesses, 1)
+            ratio = growth / access_growth
+            best = min(best, ratio) if best is not None else ratio
+        return best
+
+    best = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert best < 0.9, "warping must scale sub-linearly on stencils"

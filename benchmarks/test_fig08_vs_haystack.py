@@ -1,0 +1,62 @@
+"""Fig. 8: warping simulation vs the HayStack-style analytical model.
+
+Both tools model the same cache here: a fully-associative LRU cache of
+the (scaled) L1's capacity — the only configuration HayStack supports.
+Paper shape: HayStack is faster on most kernels; warping wins on the
+stencil kernels, where its runtime is (nearly) independent of the
+number of accesses while HayStack's counting still grows.
+"""
+
+import pytest
+
+from common import ALL_KERNELS, SCALED_L, STENCILS
+from conftest import get_figure
+
+from repro.analysis import geometric_mean
+from repro.baselines import haystack_misses
+from repro.cache.config import CacheConfig
+from repro.polybench import build_kernel
+from repro.simulation import simulate_warping
+
+FA_CONFIG = CacheConfig.fully_associative(2048, 32, "lru", name="L1-FA")
+
+_speedups = {}
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS)
+def test_fig08_vs_haystack(benchmark, kernel):
+    scop = build_kernel(kernel, SCALED_L[kernel])
+
+    def run():
+        warped = simulate_warping(scop, FA_CONFIG)
+        model = haystack_misses(scop, FA_CONFIG)
+        return warped, model
+
+    warped, model = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Identical cache model => identical miss counts.
+    assert warped.l1_misses == model.l1_misses, kernel
+    speedup = model.wall_time / max(warped.wall_time, 1e-9)
+    _speedups[kernel] = speedup
+    get_figure(
+        "Fig08", "warping speedup over HayStack-style model (FA LRU)",
+        ["kernel", "accesses", "misses", "warping ms", "haystack ms",
+         "speedup", "stencil"],
+    ).add_row(kernel, warped.accesses, warped.l1_misses,
+              round(warped.wall_time * 1e3, 1),
+              round(model.wall_time * 1e3, 1),
+              round(speedup, 3), "yes" if kernel in STENCILS else "")
+    benchmark.extra_info["speedup_vs_haystack"] = round(speedup, 3)
+
+
+def test_fig08_shape(benchmark):
+    """Shape: stencils fare better against HayStack than the rest."""
+
+    def summarize():
+        stencil = [s for k, s in _speedups.items() if k in STENCILS]
+        other = [s for k, s in _speedups.items() if k not in STENCILS]
+        return geometric_mean(stencil), geometric_mean(other)
+
+    stencil_gm, other_gm = benchmark.pedantic(summarize, rounds=1,
+                                              iterations=1)
+    if stencil_gm and other_gm:
+        assert stencil_gm > other_gm

@@ -1,0 +1,61 @@
+"""Figs. 13-14 (appendix B): accuracy at smaller problem sizes.
+
+Same setup as Fig. 11 but with the scaled counterparts of the SMALL and
+MEDIUM problem sizes.  Paper shape: for these smaller sizes, more
+accesses sit "at the edge" of the cache capacity, so the differences
+between the approaches become more pronounced — in particular the
+fully-associative HayStack model diverges more.
+"""
+
+import pytest
+
+from common import SCALED_L, scaled_l1
+from conftest import get_figure
+
+from repro.analysis import relative_error
+from repro.baselines import haystack_misses, measure_hardware, simulate_dinero
+from repro.polybench import build_kernel
+from repro.simulation import simulate_warping
+
+KERNELS = ["atax", "doitgen", "gemm", "jacobi-2d", "mvt", "trisolv",
+           "durbin", "seidel-2d", "cholesky", "gesummv"]
+
+
+def shrink(size: dict, factor: float) -> dict:
+    return {k: max(int(v * factor), 4) for k, v in size.items()}
+
+
+@pytest.mark.parametrize("label,factor", [("small", 0.35),
+                                          ("medium", 0.6)])
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig13_14_accuracy(benchmark, kernel, label, factor):
+    size = shrink(SCALED_L[kernel], factor)
+    scop = build_kernel(kernel, size)
+    true_cfg = scaled_l1("plru")
+    lru_cfg = scaled_l1("lru")
+
+    def run():
+        measured = measure_hardware(scop, true_cfg)
+        return (
+            measured,
+            simulate_warping(scop, true_cfg),
+            simulate_dinero(scop, lru_cfg),
+            haystack_misses(scop, true_cfg),
+        )
+
+    measured, warping, dinero, haystack = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    figure = "Fig13" if label == "small" else "Fig14"
+    get_figure(
+        figure, f"accuracy vs measured (scaled {label.upper()}), rel err %",
+        ["kernel", "measured misses", "dinero rel%", "warping rel%",
+         "haystack rel%"],
+    ).add_row(
+        kernel, measured.l1_misses,
+        round(100 * relative_error(dinero.l1_misses,
+                                   measured.l1_misses), 1),
+        round(100 * relative_error(warping.l1_misses,
+                                   measured.l1_misses), 1),
+        round(100 * relative_error(haystack.l1_misses,
+                                   measured.l1_misses), 1),
+    )

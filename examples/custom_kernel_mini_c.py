@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Analysing your own loop nest with the mini-C frontend.
+
+Shows the full pipeline on a custom kernel: C source -> SCoP ->
+two-level hierarchy simulation with warping, including a write-policy
+variation.
+
+Run with::
+
+    python examples/custom_kernel_mini_c.py
+"""
+
+from repro.cache.config import CacheConfig, HierarchyConfig, WritePolicy
+from repro.frontend import parse_scop
+from repro.simulation import simulate_warping
+
+SOURCE = """
+    void kernel_blur(int n) {
+      double img[128][128];
+      double out[128][128];
+      double weight[3];
+      for (int i = 1; i < 127; i++) {
+        for (int j = 1; j < 127; j++) {
+          out[i][j] = weight[0] * img[i][j-1]
+                    + weight[1] * img[i][j]
+                    + weight[2] * img[i][j+1];
+        }
+      }
+    }
+"""
+
+
+def main() -> None:
+    scop = parse_scop(SOURCE, name="blur")
+    print(f"parsed {scop.name}: {sum(1 for _ in scop.access_nodes())} "
+          f"array references, {scop.count_accesses()} dynamic accesses")
+
+    hierarchy = HierarchyConfig(
+        l1=CacheConfig(2048, 8, 32, "plru", name="L1"),
+        l2=CacheConfig(16 * 1024, 16, 32, "qlru", name="L2"),
+    )
+    result = simulate_warping(scop, hierarchy)
+    print(f"L1 misses: {result.l1_misses}, L2 misses: {result.l2_misses}, "
+          f"{result.warp_count} warps "
+          f"({100 * (1 - result.non_warped_share):.1f}% warped)")
+
+    # Same kernel with a no-write-allocate L1: the stores to `out` no
+    # longer pollute the L1.
+    nwa = HierarchyConfig(
+        l1=CacheConfig(2048, 8, 32, "plru", name="L1",
+                       write_policy=WritePolicy.NO_WRITE_ALLOCATE),
+        l2=CacheConfig(16 * 1024, 16, 32, "qlru", name="L2"),
+    )
+    result_nwa = simulate_warping(scop, nwa)
+    print(f"no-write-allocate L1: {result_nwa.l1_misses} L1 misses "
+          f"(write misses bypass allocation)")
+
+
+if __name__ == "__main__":
+    main()

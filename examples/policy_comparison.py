@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Influence of the replacement policy on cache performance (Fig. 10).
+
+Simulates a selection of PolyBench kernels under LRU, FIFO, Pseudo-LRU
+and Quad-age LRU plus a fully-associative LRU reference, and reports
+misses relative to set-associative LRU — the paper's Fig. 10.
+
+Run with::
+
+    python examples/policy_comparison.py
+"""
+
+from repro.analysis import format_table
+from repro.cache.config import CacheConfig
+from repro.polybench import build_kernel
+from repro.simulation import simulate_warping
+
+KERNELS = {
+    "durbin": {"N": 120},
+    "doitgen": {"NQ": 10, "NR": 12, "NP": 16},
+    "jacobi-2d": {"TSTEPS": 6, "N": 48},
+    "gemm": {"NI": 24, "NJ": 28, "NK": 32},
+    "trisolv": {"N": 96},
+}
+
+POLICIES = ("lru", "fifo", "plru", "qlru")
+
+
+def main() -> None:
+    rows = []
+    for name, size in KERNELS.items():
+        scop = build_kernel(name, size)
+        misses = {}
+        for policy in POLICIES:
+            config = CacheConfig(2048, 8, 32, policy)
+            misses[policy] = simulate_warping(scop, config).l1_misses
+        fa = CacheConfig.fully_associative(2048, 32, "lru")
+        misses["fa-lru"] = simulate_warping(scop, fa).l1_misses
+        base = misses["lru"] or 1
+        rows.append([
+            name,
+            misses["lru"],
+            *(f"{misses[p] / base:.3f}" for p in ("fifo", "plru", "qlru")),
+            f"{misses['fa-lru'] / base:.3f}",
+        ])
+    print(format_table(
+        ["kernel", "LRU misses", "FIFO/LRU", "PLRU/LRU", "QLRU/LRU",
+         "FA-LRU/LRU"],
+        rows,
+        title="Misses relative to set-associative LRU (cf. paper Fig. 10)",
+    ))
+    print("\nExpected shape: most ratios near 1.0; FIFO occasionally "
+          "worse; QLRU sometimes better (scan resistance).")
+
+
+if __name__ == "__main__":
+    main()

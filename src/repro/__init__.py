@@ -1,0 +1,61 @@
+"""repro — Warping Cache Simulation of Polyhedral Programs.
+
+A from-scratch Python reproduction of Morelli & Reineke, "Warping Cache
+Simulation of Polyhedral Programs" (PLDI 2022).
+
+Quickstart::
+
+    from repro import CacheConfig, build_kernel, simulate_warping
+
+    scop = build_kernel("jacobi-2d", "MINI")
+    config = CacheConfig(size_bytes=32 * 1024, assoc=8, block_size=64,
+                         policy="plru")
+    result = simulate_warping(scop, config)
+    print(result)
+
+Package map:
+
+* :mod:`repro.isl` — pure-Python Presburger-lite integer set library.
+* :mod:`repro.cache` — policies (LRU/FIFO/PLRU/QLRU), set-associative
+  caches, two-level hierarchies.
+* :mod:`repro.polyhedral` — SCoP trees, arrays, a builder DSL.
+* :mod:`repro.frontend` — mini-C parser for SCoPs (pet substitute).
+* :mod:`repro.simulation` — Algorithm 1 (concrete) and Algorithm 2
+  (warping symbolic) simulation.
+* :mod:`repro.baselines` — Dinero-, HayStack-, PolyCache-style baselines
+  and a hardware-measurement oracle.
+* :mod:`repro.polybench` — the 30 PolyBench 4.2.1 kernels as SCoPs.
+* :mod:`repro.analysis` — metrics and report tables.
+"""
+
+from repro.cache import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    HierarchyConfig,
+    WritePolicy,
+)
+from repro.polybench import build_kernel, all_kernel_names
+from repro.polyhedral import ScopBuilder
+from repro.simulation import (
+    SimulationResult,
+    simulate_nonwarping,
+    simulate_warping,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "WritePolicy",
+    "ScopBuilder",
+    "SimulationResult",
+    "simulate_nonwarping",
+    "simulate_warping",
+    "build_kernel",
+    "all_kernel_names",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Metrics and report formatting for the experiment harness."""
+
+from repro.analysis.metrics import (
+    absolute_error,
+    geometric_mean,
+    relative_error,
+    speedup,
+)
+from repro.analysis.report import format_table
+
+__all__ = [
+    "absolute_error",
+    "relative_error",
+    "speedup",
+    "geometric_mean",
+    "format_table",
+]

@@ -1,0 +1,33 @@
+"""Metrics used in the paper's evaluation (Section 6)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def speedup(baseline_time: float, subject_time: float) -> float:
+    """Baseline time over subject time (>1 means the subject is faster)."""
+    if subject_time <= 0:
+        return math.inf
+    return baseline_time / subject_time
+
+
+def absolute_error(predicted: int, actual: int) -> int:
+    """|predicted - actual| (Fig. 11 metric 1)."""
+    return abs(predicted - actual)
+
+
+def relative_error(predicted: int, actual: int) -> float:
+    """|predicted - actual| / actual (Fig. 11 metric 2)."""
+    if actual == 0:
+        return 0.0 if predicted == 0 else math.inf
+    return abs(predicted - actual) / actual
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the standard summary for speedups)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,51 @@
+"""Plain-text table formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospace table (numbers right-aligned)."""
+    columns = len(headers)
+    cells: List[List[str]] = [[_fmt(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError("row arity does not match headers")
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in cells)) if cells
+        else len(headers[c])
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[c])
+                           for c, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[c] for c in range(columns)))
+    for row in cells:
+        lines.append("  ".join(
+            row[c].rjust(widths[c]) if _numeric(row[c]) else
+            row[c].ljust(widths[c])
+            for c in range(columns)
+        ))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def _numeric(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return text.endswith("x") and _numeric(text[:-1]) if text else False

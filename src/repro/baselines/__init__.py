@@ -1,0 +1,26 @@
+"""Baseline cache-analysis tools the paper compares against.
+
+* :mod:`repro.baselines.dinero` — a Dinero IV-style trace-driven
+  simulator (explicit trace materialisation + per-access simulation).
+* :mod:`repro.baselines.haystack` — a HayStack-style analytical model of
+  fully-associative LRU caches via exact stack distances.
+* :mod:`repro.baselines.polycache` — a PolyCache-style per-set analytical
+  model of set-associative LRU caches.
+* :mod:`repro.baselines.hardware` — a "measured hardware" oracle standing
+  in for the paper's PAPI measurements (adds the effects the simulators
+  deliberately ignore: scalar/stack traffic and micro-architectural
+  noise).
+"""
+
+from repro.baselines.dinero import DineroSimulator, simulate_dinero
+from repro.baselines.haystack import haystack_misses
+from repro.baselines.polycache import polycache_misses
+from repro.baselines.hardware import measure_hardware
+
+__all__ = [
+    "DineroSimulator",
+    "simulate_dinero",
+    "haystack_misses",
+    "polycache_misses",
+    "measure_hardware",
+]

@@ -1,0 +1,50 @@
+"""Cache models: replacement policies, set-associative caches, hierarchies.
+
+This subpackage implements the cache substrate of the paper (Section 2):
+
+* replacement policies — LRU, FIFO, tree-based Pseudo-LRU, and Quad-age LRU
+  (:mod:`repro.cache.policies`) — all satisfying the data-independence
+  contract (Property 1): policy decisions depend only on line indices and
+  policy metadata, never on the identity of cached blocks;
+* single cache sets and set-associative caches with modulo placement
+  (:mod:`repro.cache.cache`);
+* two-level non-inclusive non-exclusive hierarchies with write-back /
+  write-allocate and no-write-allocate policies
+  (:mod:`repro.cache.hierarchy`).
+"""
+
+from repro.cache.config import (
+    CacheConfig,
+    HierarchyConfig,
+    IndexFunction,
+    WritePolicy,
+)
+from repro.cache.policies import (
+    ReplacementPolicy,
+    LRU,
+    FIFO,
+    PLRU,
+    QLRU,
+    POLICIES,
+    policy_by_name,
+)
+from repro.cache.cache import CacheSetState, Cache
+from repro.cache.hierarchy import CacheHierarchy, InclusionPolicy
+
+__all__ = [
+    "CacheConfig",
+    "IndexFunction",
+    "InclusionPolicy",
+    "HierarchyConfig",
+    "WritePolicy",
+    "ReplacementPolicy",
+    "LRU",
+    "FIFO",
+    "PLRU",
+    "QLRU",
+    "POLICIES",
+    "policy_by_name",
+    "CacheSetState",
+    "Cache",
+    "CacheHierarchy",
+]

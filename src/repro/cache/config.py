@@ -1,0 +1,142 @@
+"""Cache and hierarchy configuration records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class WritePolicy(enum.Enum):
+    """Allocation behaviour on write misses.
+
+    The hit/miss model abstracts from write-back vs write-through (which
+    only affects traffic, not hit/miss classification); what matters for
+    miss counts is whether a write miss *allocates* the block.
+    """
+
+    WRITE_ALLOCATE = "write-allocate"
+    NO_WRITE_ALLOCATE = "no-write-allocate"
+
+
+class IndexFunction(enum.Enum):
+    """How memory blocks map to cache sets.
+
+    ``MODULO`` is the common L1/L2 scheme and the one the paper's
+    warping implementation supports.  ``XOR_FOLD`` stands in for the
+    pseudo-random hash functions of sliced last-level caches (paper
+    Sec. 7): it XOR-folds the block number's bit groups.  Hashed
+    indexing does not violate data independence, but it destroys the
+    rotation symmetry that warping's match detection relies on, so the
+    warping simulator refuses to warp under it (and the ablation bench
+    measures exactly that effect).
+    """
+
+    MODULO = "modulo"
+    XOR_FOLD = "xor-fold"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of a single cache level.
+
+    Attributes:
+        size_bytes: total capacity in bytes.
+        assoc: number of ways per set
+            (``size_bytes = num_sets * assoc * block_size``).
+        block_size: line size in bytes.
+        policy: replacement policy name (see ``repro.cache.policies``).
+        write_policy: allocation behaviour for write misses.
+        index_function: block -> set mapping scheme.
+        name: label used in reports ("L1", "L2", ...).
+    """
+
+    size_bytes: int
+    assoc: int
+    block_size: int = 64
+    policy: str = "lru"
+    write_policy: WritePolicy = WritePolicy.WRITE_ALLOCATE
+    index_function: "IndexFunction" = None  # type: ignore[assignment]
+    name: str = "L1"
+
+    def __post_init__(self):
+        if self.index_function is None:
+            object.__setattr__(self, "index_function",
+                               IndexFunction.MODULO)
+        if self.size_bytes % (self.assoc * self.block_size) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"assoc*block_size = {self.assoc * self.block_size}"
+            )
+        if self.num_sets < 1:
+            raise ValueError("cache must have at least one set")
+        if (self.index_function is IndexFunction.XOR_FOLD
+                and self.num_sets & (self.num_sets - 1)):
+            raise ValueError("XOR-fold indexing needs a power-of-two "
+                             "number of sets")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.assoc * self.block_size)
+
+    def index_of(self, block: int) -> int:
+        """Cache set a memory block maps to."""
+        if self.index_function is IndexFunction.MODULO:
+            return block % self.num_sets
+        # XOR-fold: fold the block number into index-width bit groups.
+        sets = self.num_sets
+        width = sets.bit_length() - 1
+        value = block if block >= 0 else -block
+        index = 0
+        while value:
+            index ^= value & (sets - 1)
+            value >>= width
+        return index
+
+    @staticmethod
+    def fully_associative(size_bytes: int, block_size: int = 64,
+                          policy: str = "lru", name: str = "L1") -> "CacheConfig":
+        """A fully-associative cache of the given capacity."""
+        assoc = size_bytes // block_size
+        return CacheConfig(size_bytes, assoc, block_size, policy, name=name)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """A two-level non-inclusive non-exclusive hierarchy (paper Sec. 2.3)."""
+
+    l1: CacheConfig
+    l2: CacheConfig
+
+    def __post_init__(self):
+        if self.l1.block_size != self.l2.block_size:
+            raise ValueError("L1 and L2 must share a block size")
+        if self.l2.num_sets % self.l1.num_sets != 0:
+            raise ValueError(
+                "L2 set count must be a multiple of the L1 set count "
+                "(required for the shared rotation symmetry, cf. appendix A.2)"
+            )
+
+
+def test_system_l1(policy: str = "plru") -> CacheConfig:
+    """The paper's test system L1: 32 KiB, 8-way, 64-byte blocks."""
+    return CacheConfig(32 * 1024, 8, 64, policy, name="L1")
+
+
+def test_system_l2(policy: str = "qlru") -> CacheConfig:
+    """The paper's test system L2: 1 MiB, 16-way, 64-byte blocks."""
+    return CacheConfig(1024 * 1024, 16, 64, policy, name="L2")
+
+
+def polycache_hierarchy() -> HierarchyConfig:
+    """The configuration used in the PolyCache comparison (Fig. 9)."""
+    return HierarchyConfig(
+        l1=CacheConfig(32 * 1024, 4, 64, "lru", name="L1"),
+        l2=CacheConfig(256 * 1024, 4, 64, "lru", name="L2"),
+    )
+
+
+def scaled_config(size_bytes: int, assoc: int, block_size: int = 16,
+                  policy: str = "lru", name: str = "L1") -> CacheConfig:
+    """Helper for the scaled-down experiment configurations."""
+    return CacheConfig(size_bytes, assoc, block_size, policy, name=name)

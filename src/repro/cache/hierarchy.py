@@ -1,0 +1,181 @@
+"""Two-level cache hierarchies (Sec. 2.3, A.2).
+
+The paper's implementation supports the **non-inclusive non-exclusive**
+(NINE) inclusion policy: the two levels evolve independently — an
+access updates the L1; only on an L1 miss is the L2 accessed and
+updated (Eq. 24).  Nothing is ever forced out of (or into) either level
+to maintain inclusion, which is exactly why data independence lifts to
+the pair (Corollary 5).
+
+The paper notes that "inclusive and exclusive cache hierarchies also
+satisfy data independence and could be captured in a similar manner";
+this module captures them too:
+
+* **inclusive**: an L2 eviction back-invalidates the block in the L1
+  (the L1 contents stay a subset of the L2 contents);
+* **exclusive**: the L2 acts as a victim cache — blocks enter the L2
+  only when evicted from the L1, and an L2 hit *moves* the block back
+  to the L1 (at most one level holds a block at a time).
+
+All three policies are bijection-compatible (``apply_bijection``), so
+they remain warpable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Tuple
+
+from repro.cache.cache import Cache
+from repro.cache.config import HierarchyConfig, WritePolicy
+
+
+class InclusionPolicy(enum.Enum):
+    """How the contents of the L1 relate to the contents of the L2."""
+
+    NINE = "non-inclusive non-exclusive"
+    INCLUSIVE = "inclusive"
+    EXCLUSIVE = "exclusive"
+
+
+class CacheHierarchy:
+    """An L1/L2 hierarchy under a configurable inclusion policy."""
+
+    def __init__(self, config: HierarchyConfig,
+                 inclusion: InclusionPolicy = InclusionPolicy.NINE):
+        self.config = config
+        self.inclusion = inclusion
+        self.l1 = Cache(config.l1)
+        self.l2 = Cache(config.l2)
+
+    def access(self, block: int, is_write: bool = False) -> Tuple[bool, Optional[bool]]:
+        """Access a block; returns (l1_hit, l2_hit or None).
+
+        ``l2_hit`` is None when the L2 was not consulted (L1 hit, or a
+        write miss under no-write-allocate L1 that still bypasses to L2
+        is *not* modelled — a non-allocating write miss propagates to the
+        next level, where the same write policy applies).
+        """
+        if self.inclusion is InclusionPolicy.NINE:
+            return self._access_nine(block, is_write)
+        if self.inclusion is InclusionPolicy.INCLUSIVE:
+            return self._access_inclusive(block, is_write)
+        return self._access_exclusive(block, is_write)
+
+    def _l1_lookup_and_update(self, block: int, is_write: bool):
+        """L1 access; returns (hit, evicted block or None)."""
+        allocate = (not is_write
+                    or self.config.l1.write_policy
+                    is WritePolicy.WRITE_ALLOCATE)
+        set_state = self.l1.sets[self.config.l1.index_of(block)]
+        victim = None
+        line = set_state.lookup(block)
+        if line is None and allocate:
+            occupied = [content is not None for content in set_state.lines]
+            victim_line, _ = self.l1.policy.on_miss(
+                set_state.policy_state, set_state.assoc, occupied)
+            victim = set_state.lines[victim_line]
+        hit, _ = set_state.access(self.l1.policy, block, allocate)
+        if hit:
+            self.l1.hits += 1
+        else:
+            self.l1.misses += 1
+        return hit, victim
+
+    def _access_nine(self, block: int, is_write: bool):
+        hit1, _ = self._l1_lookup_and_update(block, is_write)
+        if hit1:
+            return True, None
+        hit2 = self.l2.access(block, is_write)
+        return False, hit2
+
+    def _access_inclusive(self, block: int, is_write: bool):
+        hit1, _ = self._l1_lookup_and_update(block, is_write)
+        if hit1:
+            return True, None
+        # L2 access; an L2 eviction back-invalidates the victim in L1.
+        set2 = self.l2.sets[self.config.l2.index_of(block)]
+        allocate = (not is_write
+                    or self.config.l2.write_policy
+                    is WritePolicy.WRITE_ALLOCATE)
+        victim2 = None
+        line2 = set2.lookup(block)
+        if line2 is None and allocate:
+            occupied = [content is not None for content in set2.lines]
+            victim_line, _ = self.l2.policy.on_miss(
+                set2.policy_state, set2.assoc, occupied)
+            victim2 = set2.lines[victim_line]
+        hit2, _ = set2.access(self.l2.policy, block, allocate)
+        if hit2:
+            self.l2.hits += 1
+        else:
+            self.l2.misses += 1
+            if victim2 is not None:
+                self._invalidate_l1(victim2)
+        return False, hit2
+
+    def _access_exclusive(self, block: int, is_write: bool):
+        hit1, victim1 = self._l1_lookup_and_update(block, is_write)
+        if hit1:
+            return True, None
+        # Exclusive: the L1 victim spills into the L2; an L2 hit moves
+        # the block out of the L2 (it now lives in the L1 only).
+        set2 = self.l2.sets[self.config.l2.index_of(block)]
+        line2 = set2.lookup(block)
+        if line2 is not None:
+            self.l2.hits += 1
+            set2.lines[line2] = None
+            hit2 = True
+        else:
+            self.l2.misses += 1
+            hit2 = False
+        if victim1 is not None:
+            # Victim allocation in the L2 (never re-reads it from L1).
+            victim_set = self.l2.sets[self.config.l2.index_of(victim1)]
+            victim_set.access(self.l2.policy, victim1, True)
+        return False, hit2
+
+    def _invalidate_l1(self, block: int) -> None:
+        set1 = self.l1.sets[self.config.l1.index_of(block)]
+        line = set1.lookup(block)
+        if line is not None:
+            set1.lines[line] = None
+
+    @property
+    def l1_misses(self) -> int:
+        return self.l1.misses
+
+    @property
+    def l2_misses(self) -> int:
+        return self.l2.misses
+
+    @property
+    def accesses(self) -> int:
+        return self.l1.accesses
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+
+    def clone(self) -> "CacheHierarchy":
+        copy = CacheHierarchy.__new__(CacheHierarchy)
+        copy.config = self.config
+        copy.inclusion = self.inclusion
+        copy.l1 = self.l1.clone()
+        copy.l2 = self.l2.clone()
+        return copy
+
+    def state_key(self) -> Tuple:
+        return (self.l1.state_key(), self.l2.state_key())
+
+    def apply_bijection(self, pi: Callable[[int], int]) -> "CacheHierarchy":
+        """Apply a block bijection to both levels (Corollary 5)."""
+        copy = CacheHierarchy.__new__(CacheHierarchy)
+        copy.config = self.config
+        copy.inclusion = self.inclusion
+        copy.l1 = self.l1.apply_bijection(pi)
+        copy.l2 = self.l2.apply_bijection(pi)
+        return copy
+
+    def __repr__(self) -> str:
+        return f"CacheHierarchy(L1={self.l1!r}, L2={self.l2!r})"

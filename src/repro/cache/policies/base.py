@@ -1,0 +1,48 @@
+"""The replacement-policy interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Sequence
+
+
+class ReplacementPolicy(abc.ABC):
+    """Replacement policy operating on line indices only.
+
+    The cache set (:class:`repro.cache.cache.CacheSetState`) owns the
+    mapping from lines to blocks; the policy owns an opaque, hashable,
+    immutable *policy state* and three transitions:
+
+    * :meth:`on_hit` — a cached line was accessed,
+    * :meth:`choose_victim` — pick the line to evict when the set is full,
+    * :meth:`on_fill` — a line was (re)filled with a new block.
+
+    Because the policy never observes block identities, Property 1 (data
+    independence) holds by construction for every implementation.
+    """
+
+    #: registry name, e.g. "lru"
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def initial_state(self, assoc: int) -> Hashable:
+        """Policy state of an empty set with ``assoc`` ways."""
+
+    @abc.abstractmethod
+    def on_hit(self, state: Hashable, assoc: int, line: int) -> Hashable:
+        """State after a hit on ``line``."""
+
+    @abc.abstractmethod
+    def on_miss(self, state: Hashable, assoc: int,
+                occupied: Sequence[bool]) -> tuple:
+        """Handle a miss: pick the fill line and produce the next state.
+
+        Returns ``(line, new_state)`` where ``line`` is the way to fill
+        (evicting its current block if occupied) and ``new_state`` is the
+        policy state *after* the fill.  ``occupied[l]`` tells whether line
+        ``l`` currently holds a block; implementations must prefer an
+        empty line if one exists (real caches fill invalid ways first).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,33 @@
+"""First-in first-out replacement."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.cache.policies.base import ReplacementPolicy
+
+
+class FIFO(ReplacementPolicy):
+    """FIFO: evict the line that was filled longest ago.
+
+    Policy state is the tuple of line indices ordered from last-in to
+    first-in.  Hits do not modify the state (the defining difference from
+    LRU).
+    """
+
+    name = "fifo"
+
+    def initial_state(self, assoc: int) -> Tuple[int, ...]:
+        return tuple(range(assoc))
+
+    def on_hit(self, state: Tuple[int, ...], assoc: int,
+               line: int) -> Tuple[int, ...]:
+        return state
+
+    def on_miss(self, state: Tuple[int, ...], assoc: int,
+                occupied: Sequence[bool]):
+        empty = [l for l in state if not occupied[l]]
+        line = empty[-1] if empty else state[-1]
+        if state and state[0] == line:
+            return line, state
+        return line, (line,) + tuple(l for l in state if l != line)

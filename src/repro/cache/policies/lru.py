@@ -1,0 +1,39 @@
+"""Least-recently-used replacement."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Tuple
+
+from repro.cache.policies.base import ReplacementPolicy
+
+
+class LRU(ReplacementPolicy):
+    """LRU: evict the line whose last access is furthest in the past.
+
+    The policy state is the tuple of line indices ordered from
+    most-recently-used to least-recently-used (the order encoding the
+    paper describes in Section 2.1).
+    """
+
+    name = "lru"
+
+    def initial_state(self, assoc: int) -> Tuple[int, ...]:
+        return tuple(range(assoc))
+
+    def on_hit(self, state: Tuple[int, ...], assoc: int,
+               line: int) -> Tuple[int, ...]:
+        return self._move_to_front(state, line)
+
+    def on_miss(self, state: Tuple[int, ...], assoc: int,
+                occupied: Sequence[bool]):
+        empty = [l for l in state if not occupied[l]]
+        # Fill the least-recently-used empty line if one exists
+        # (deterministic fill-invalid-first), otherwise evict the LRU line.
+        line = empty[-1] if empty else state[-1]
+        return line, self._move_to_front(state, line)
+
+    @staticmethod
+    def _move_to_front(state: Tuple[int, ...], line: int) -> Tuple[int, ...]:
+        if state and state[0] == line:
+            return state
+        return (line,) + tuple(l for l in state if l != line)

@@ -1,0 +1,218 @@
+"""Command-line interface, mirroring the paper's tool.
+
+The paper describes its artifact as "a cache simulation tool which takes
+as input the cache parameters and a C program, and outputs cache access
+and miss counts".  This module provides exactly that:
+
+    python -m repro simulate --source kernel.c \\
+        --l1-size 32768 --l1-assoc 8 --l1-policy plru
+
+    python -m repro simulate --kernel jacobi-2d --size MINI \\
+        --l1-size 2048 --l1-assoc 8 --block-size 32 --no-warping
+
+    python -m repro compare --kernel atax --size MINI \\
+        --l1-size 2048 --l1-assoc 8
+
+    python -m repro list-kernels
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.baselines import (
+    haystack_misses,
+    polycache_misses,
+    simulate_dinero,
+)
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig, HierarchyConfig, WritePolicy
+from repro.cache.hierarchy import CacheHierarchy
+from repro.frontend import parse_scop
+from repro.polybench import all_kernel_names, build_kernel, get_kernel
+from repro.polyhedral.model import Scop
+from repro.simulation import simulate_nonwarping, simulate_warping
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Warping cache simulation of polyhedral programs "
+                    "(PLDI 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate one program on one cache (the "
+                         "paper's tool)")
+    _add_program_args(simulate)
+    _add_cache_args(simulate)
+    simulate.add_argument(
+        "--no-warping", action="store_true",
+        help="disable warping (Algorithm 1 semantics)")
+    simulate.add_argument(
+        "--engine", choices=["warping", "tree", "dinero"],
+        default="warping", help="simulation engine (default: warping)")
+    simulate.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+
+    compare = sub.add_parser(
+        "compare", help="run every model on the same program/cache")
+    _add_program_args(compare)
+    _add_cache_args(compare)
+    compare.add_argument("--json", action="store_true")
+
+    lister = sub.add_parser("list-kernels",
+                            help="list the PolyBench kernels")
+    lister.add_argument("--json", action="store_true")
+    return parser
+
+
+def _add_program_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--source", metavar="FILE",
+                       help="C source file (mini-C SCoP subset)")
+    group.add_argument("--kernel", metavar="NAME",
+                       help="PolyBench kernel name")
+    parser.add_argument(
+        "--size", default="MINI",
+        help="PolyBench size class (MINI/SMALL/MEDIUM/LARGE/EXTRALARGE) "
+             "or JSON dict of parameters, e.g. '{\"N\": 64}'")
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--l1-size", type=int, default=32 * 1024,
+                        help="L1 capacity in bytes (default 32768)")
+    parser.add_argument("--l1-assoc", type=int, default=8)
+    parser.add_argument("--l1-policy", default="plru",
+                        choices=["lru", "fifo", "plru", "qlru", "nmru"])
+    parser.add_argument("--l2-size", type=int, default=0,
+                        help="L2 capacity in bytes (0 = no L2)")
+    parser.add_argument("--l2-assoc", type=int, default=16)
+    parser.add_argument("--l2-policy", default="qlru",
+                        choices=["lru", "fifo", "plru", "qlru", "nmru"])
+    parser.add_argument("--block-size", type=int, default=64)
+    parser.add_argument("--no-write-allocate", action="store_true",
+                        help="write misses do not allocate")
+
+
+def load_program(args) -> Scop:
+    if args.kernel:
+        size = args.size
+        if size.strip().startswith("{"):
+            size = json.loads(size)
+        return build_kernel(args.kernel, size)
+    with open(args.source) as handle:
+        source = handle.read()
+    name = args.source.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return parse_scop(source, name=name)
+
+
+def load_config(args):
+    write_policy = (WritePolicy.NO_WRITE_ALLOCATE
+                    if args.no_write_allocate
+                    else WritePolicy.WRITE_ALLOCATE)
+    l1 = CacheConfig(args.l1_size, args.l1_assoc, args.block_size,
+                     args.l1_policy, write_policy=write_policy,
+                     name="L1")
+    if not args.l2_size:
+        return l1
+    l2 = CacheConfig(args.l2_size, args.l2_assoc, args.block_size,
+                     args.l2_policy, write_policy=write_policy,
+                     name="L2")
+    return HierarchyConfig(l1, l2)
+
+
+def result_dict(result) -> dict:
+    payload = {
+        "program": result.scop_name,
+        "accesses": result.accesses,
+        "l1_hits": result.l1_hits,
+        "l1_misses": result.l1_misses,
+        "wall_time_s": round(result.wall_time, 6),
+    }
+    if result.l2_hits or result.l2_misses:
+        payload["l2_hits"] = result.l2_hits
+        payload["l2_misses"] = result.l2_misses
+    if result.warp_count:
+        payload["warps"] = result.warp_count
+        payload["warped_accesses"] = result.warped_accesses
+    return payload
+
+
+def cmd_simulate(args) -> int:
+    scop = load_program(args)
+    config = load_config(args)
+    if args.engine == "dinero":
+        result = simulate_dinero(scop, config)
+    elif args.engine == "tree" or args.no_warping:
+        target = (CacheHierarchy(config)
+                  if isinstance(config, HierarchyConfig)
+                  else Cache(config))
+        result = simulate_nonwarping(scop, target)
+    else:
+        result = simulate_warping(scop, config)
+    if args.json:
+        print(json.dumps(result_dict(result), indent=2))
+    else:
+        print(result)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    scop = load_program(args)
+    config = load_config(args)
+    l1 = config.l1 if isinstance(config, HierarchyConfig) else config
+    rows = []
+    warped = simulate_warping(scop, config)
+    rows.append(("warping", warped))
+    target = (CacheHierarchy(config)
+              if isinstance(config, HierarchyConfig) else Cache(config))
+    rows.append(("tree", simulate_nonwarping(scop, target)))
+    rows.append(("dinero", simulate_dinero(scop, config)))
+    rows.append(("haystack (FA LRU)", haystack_misses(scop, l1)))
+    if l1.policy == "lru":
+        rows.append(("polycache", polycache_misses(scop, config)))
+    if args.json:
+        print(json.dumps({name: result_dict(result)
+                          for name, result in rows}, indent=2))
+    else:
+        for name, result in rows:
+            print(f"{name:18s} L1 misses {result.l1_misses:10d}  "
+                  f"({result.wall_time * 1000:8.1f} ms)")
+    return 0
+
+
+def cmd_list_kernels(args) -> int:
+    names = all_kernel_names()
+    if args.json:
+        payload = {
+            name: {
+                "category": get_kernel(name).category,
+                "params": list(get_kernel(name).params),
+            }
+            for name in names
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name in names:
+            spec = get_kernel(name)
+            print(f"{name:16s} {spec.category:26s} "
+                  f"params: {', '.join(spec.params)}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return cmd_simulate(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    return cmd_list_kernels(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

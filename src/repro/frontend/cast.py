@@ -1,0 +1,96 @@
+"""AST node types for the mini-C SCoP subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass
+class ArrayDecl:
+    """``double A[100][200];`` — scalar declarations have no extents."""
+
+    name: str
+    extents: Tuple[int, ...]
+    element_size: int
+
+
+@dataclass
+class NumExpr:
+    value: int
+
+
+@dataclass
+class VarExpr:
+    name: str
+
+
+@dataclass
+class BinExpr:
+    op: str  # + - * / %
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class UnaryExpr:
+    op: str  # -
+    operand: "Expr"
+
+
+@dataclass
+class ArrayRef:
+    name: str
+    subscripts: List["Expr"]
+
+
+@dataclass
+class CallExpr:
+    """Math calls like sqrt(...); arguments contribute reads."""
+
+    name: str
+    args: List["Expr"]
+
+
+Expr = Union[NumExpr, VarExpr, BinExpr, UnaryExpr, ArrayRef, CallExpr]
+
+
+@dataclass
+class Condition:
+    """Conjunction of affine comparisons (from `&&`)."""
+
+    comparisons: List[Tuple[str, Expr, Expr]]  # (op, lhs, rhs)
+
+
+@dataclass
+class Assign:
+    """``lhs (op)= rhs;`` — lhs may be an array ref or scalar name."""
+
+    target: Union[ArrayRef, VarExpr]
+    op: str  # "=", "+=", "-=", "*=", "/="
+    value: Expr
+
+
+@dataclass
+class ForLoop:
+    iterator: str
+    init: Expr
+    cond: Tuple[str, Expr]     # ("<" | "<=", bound expr)
+    stride: int
+    body: List["Stmt"]
+
+
+@dataclass
+class IfStmt:
+    condition: Condition
+    then_body: List["Stmt"]
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+Stmt = Union[Assign, ForLoop, IfStmt]
+
+
+@dataclass
+class Program:
+    decls: List[ArrayDecl]
+    body: List[Stmt]

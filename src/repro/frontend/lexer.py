@@ -1,0 +1,94 @@
+"""Tokenizer for the mini-C SCoP subset."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    FLOATNUM = "floatnum"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "for", "if", "else", "int", "double", "float", "long", "void",
+    "unsigned", "char", "short", "const", "static", "return",
+}
+
+# Longest-match punctuation, order matters.
+PUNCTUATION = [
+    "<<=", ">>=", "++", "--", "+=", "-=", "*=", "/=", "%=", "<=", ">=",
+    "==", "!=", "&&", "||", "<<", ">>", "{", "}", "(", ")", "[", "]",
+    ";", ",", "+", "-", "*", "/", "%", "<", ">", "=", "!", "?", ":", "&",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+  | (?P<floatnum>\d+\.\d*(?:[eE][-+]?\d+)?[fF]?|\.\d+(?:[eE][-+]?\d+)?[fF]?
+                 |\d+[eE][-+]?\d+[fF]?|\d+\.[fF]?)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<punct>""" + "|".join(re.escape(p) for p in PUNCTUATION) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+class LexError(ValueError):
+    """Raised on characters outside the supported subset."""
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; always ends with an EOF token."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise LexError(
+                f"unexpected character {source[pos]!r} at "
+                f"line {line}, column {column}"
+            )
+        text = match.group(0)
+        column = pos - line_start + 1
+        if match.lastgroup == "ws":
+            pass
+        elif match.lastgroup == "floatnum":
+            tokens.append(Token(TokenKind.FLOATNUM, text, line, column))
+        elif match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, line, column))
+        elif match.lastgroup == "ident":
+            kind = (TokenKind.KEYWORD if text in KEYWORDS
+                    else TokenKind.IDENT)
+            tokens.append(Token(kind, text, line, column))
+        else:
+            tokens.append(Token(TokenKind.PUNCT, text, line, column))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + text.rfind("\n") + 1
+        pos = match.end()
+    tokens.append(Token(TokenKind.EOF, "", line, pos - line_start + 1))
+    return tokens

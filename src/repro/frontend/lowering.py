@@ -1,0 +1,223 @@
+"""Lowering the mini-C AST to the polyhedral SCoP representation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.frontend.cast import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinExpr,
+    CallExpr,
+    Condition,
+    Expr,
+    ForLoop,
+    IfStmt,
+    NumExpr,
+    Program,
+    Stmt,
+    UnaryExpr,
+    VarExpr,
+)
+from repro.frontend.parser import ParseError, parse_program
+from repro.isl.affine import LinExpr
+from repro.polyhedral.builder import ScopBuilder
+from repro.polyhedral.model import Scop
+
+
+class NonAffineError(ParseError):
+    """An expression required to be affine is not."""
+
+
+def parse_scop(source: str, name: str = "scop",
+               alignment: int = 64) -> Scop:
+    """Parse mini-C source text directly into a SCoP."""
+    return lower_program(parse_program(source), name, alignment)
+
+
+def lower_program(program: Program, name: str = "scop",
+                  alignment: int = 64) -> Scop:
+    """Lower a parsed program to a SCoP."""
+    builder = ScopBuilder(name, alignment)
+    arrays = {}
+    scalars = set()
+    for decl in program.decls:
+        if decl.extents:
+            arrays[decl.name] = builder.array(
+                decl.name, decl.extents, decl.element_size)
+        else:
+            scalars.add(decl.name)
+    lowering = _Lowering(builder, arrays, scalars)
+    for stmt in program.body:
+        lowering.lower_stmt(stmt, guards=[])
+    return builder.build()
+
+
+class _Lowering:
+    def __init__(self, builder: ScopBuilder, arrays: Dict[str, object],
+                 scalars: set):
+        self.builder = builder
+        self.arrays = arrays
+        self.scalars = scalars
+
+    # -- statements -------------------------------------------------------------
+
+    def lower_stmt(self, stmt: Stmt, guards: List[LinExpr]) -> None:
+        if isinstance(stmt, ForLoop):
+            self.lower_for(stmt, guards)
+        elif isinstance(stmt, IfStmt):
+            self.lower_if(stmt, guards)
+        elif isinstance(stmt, Assign):
+            self.lower_assign(stmt, guards)
+        else:
+            raise ParseError(f"unsupported statement {type(stmt).__name__}")
+
+    def lower_for(self, loop: ForLoop, guards: List[LinExpr]) -> None:
+        lower = self.affine(loop.init)
+        op, bound_expr = loop.cond
+        bound = self.affine(bound_expr)
+        upper_inclusive = op == "<="
+        with self.builder.loop(loop.iterator, lower, bound,
+                               stride=loop.stride, extra=guards,
+                               upper_inclusive=upper_inclusive):
+            for stmt in loop.body:
+                # Guards were folded into the loop domain; children inherit
+                # the domain, so do not re-apply them below this loop.
+                self.lower_stmt(stmt, guards=[])
+
+    def lower_if(self, stmt: IfStmt, guards: List[LinExpr]) -> None:
+        then_guards = guards + self.condition_constraints(stmt.condition)
+        for inner in stmt.then_body:
+            self.lower_stmt(inner, then_guards)
+        if stmt.else_body:
+            else_guards = guards + self.negated_condition(stmt.condition)
+            for inner in stmt.else_body:
+                self.lower_stmt(inner, else_guards)
+
+    def lower_assign(self, stmt: Assign, guards: List[LinExpr]) -> None:
+        # C evaluation order: the RHS reads left-to-right, a compound
+        # assignment reads its target, then the target is written.
+        reads: List[ArrayRef] = []
+        _collect_reads(stmt.value, reads)
+        for ref in reads:
+            self.emit(ref, is_write=False, guards=guards)
+        if stmt.op != "=":
+            if isinstance(stmt.target, ArrayRef):
+                self.emit(stmt.target, is_write=False, guards=guards)
+        if isinstance(stmt.target, ArrayRef):
+            self.emit(stmt.target, is_write=True, guards=guards)
+        elif isinstance(stmt.target, VarExpr):
+            self.check_scalar(stmt.target.name)
+
+    def emit(self, ref: ArrayRef, is_write: bool,
+             guards: List[LinExpr]) -> None:
+        if ref.name in self.scalars:
+            return  # register-resident scalar
+        array = self.arrays.get(ref.name)
+        if array is None:
+            raise ParseError(f"undeclared array {ref.name!r}")
+        subscripts = [self.affine(s) for s in ref.subscripts]
+        self.builder.access(array, *subscripts, is_write=is_write,
+                            guard=list(guards))
+
+    def check_scalar(self, name: str) -> None:
+        if name not in self.scalars and name not in self.arrays:
+            # Implicitly-declared scalar accumulators are tolerated (the
+            # PolyBench sources declare them in the function prologue).
+            self.scalars.add(name)
+
+    # -- conditions -----------------------------------------------------------------
+
+    def condition_constraints(self, cond: Condition) -> List[LinExpr]:
+        constraints: List[LinExpr] = []
+        for op, lhs_expr, rhs_expr in cond.comparisons:
+            lhs = self.affine(lhs_expr)
+            rhs = self.affine(rhs_expr)
+            constraints.extend(_comparison_ge0(op, lhs, rhs))
+        return constraints
+
+    def negated_condition(self, cond: Condition) -> List[LinExpr]:
+        if len(cond.comparisons) != 1:
+            raise ParseError(
+                "else-branches require a single comparison (the negation "
+                "of a conjunction is not convex)"
+            )
+        op, lhs_expr, rhs_expr = cond.comparisons[0]
+        lhs = self.affine(lhs_expr)
+        rhs = self.affine(rhs_expr)
+        negated = {
+            "<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=",
+            "!=": "==",
+        }[op]
+        return _comparison_ge0(negated, lhs, rhs)
+
+    # -- affine expressions ---------------------------------------------------------
+
+    def affine(self, expr: Expr) -> LinExpr:
+        if isinstance(expr, NumExpr):
+            return LinExpr.const(expr.value)
+        if isinstance(expr, VarExpr):
+            if expr.name in self.scalars:
+                raise NonAffineError(
+                    f"scalar {expr.name!r} used in an affine position "
+                    "(bounds and subscripts must be affine in the "
+                    "iterators)"
+                )
+            return self.builder.iter_expr(expr.name)
+        if isinstance(expr, UnaryExpr):
+            return -self.affine(expr.operand)
+        if isinstance(expr, BinExpr):
+            if expr.op == "+":
+                return self.affine(expr.left) + self.affine(expr.right)
+            if expr.op == "-":
+                return self.affine(expr.left) - self.affine(expr.right)
+            if expr.op == "*":
+                left, right = expr.left, expr.right
+                left_aff = self.affine(left)
+                right_aff = self.affine(right)
+                if left_aff.is_constant():
+                    return right_aff * int(left_aff.constant)
+                if right_aff.is_constant():
+                    return left_aff * int(right_aff.constant)
+                raise NonAffineError("product of two non-constants")
+            raise NonAffineError(
+                f"operator {expr.op!r} is not affine"
+            )
+        if isinstance(expr, (ArrayRef, CallExpr)):
+            raise NonAffineError(
+                "array references and calls may not appear in bounds, "
+                "guards or subscripts"
+            )
+        raise ParseError(f"unsupported expression {type(expr).__name__}")
+
+
+def _comparison_ge0(op: str, lhs: LinExpr, rhs: LinExpr) -> List[LinExpr]:
+    """Affine constraints (each ``>= 0``) equivalent to ``lhs op rhs``."""
+    if op == "<":
+        return [rhs - lhs - 1]
+    if op == "<=":
+        return [rhs - lhs]
+    if op == ">":
+        return [lhs - rhs - 1]
+    if op == ">=":
+        return [lhs - rhs]
+    if op == "==":
+        return [lhs - rhs, rhs - lhs]
+    raise ParseError("'!=' guards are not convex; restructure the program")
+
+
+def _collect_reads(expr: Expr, out: List[ArrayRef]) -> None:
+    """Array references of an expression, in C evaluation order."""
+    if isinstance(expr, ArrayRef):
+        out.append(expr)
+        for sub in expr.subscripts:
+            _collect_reads(sub, out)
+    elif isinstance(expr, BinExpr):
+        _collect_reads(expr.left, out)
+        _collect_reads(expr.right, out)
+    elif isinstance(expr, UnaryExpr):
+        _collect_reads(expr.operand, out)
+    elif isinstance(expr, CallExpr):
+        for arg in expr.args:
+            _collect_reads(arg, out)

@@ -1,0 +1,345 @@
+"""Recursive-descent parser for the mini-C SCoP subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.frontend.cast import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinExpr,
+    CallExpr,
+    Condition,
+    Expr,
+    ForLoop,
+    IfStmt,
+    NumExpr,
+    Program,
+    Stmt,
+    UnaryExpr,
+    VarExpr,
+)
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+ELEMENT_SIZES = {
+    "double": 8, "float": 4, "int": 4, "long": 8, "char": 1, "short": 2,
+}
+
+
+class ParseError(ValueError):
+    """Raised when the source is outside the supported SCoP subset."""
+
+    def __init__(self, message: str, token: Optional[Token] = None):
+        if token is not None:
+            message = f"{message} (at line {token.line}, " \
+                      f"column {token.column}: {token.text!r})"
+        super().__init__(message)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        return self.peek().text == text and self.peek().kind in (
+            TokenKind.PUNCT, TokenKind.KEYWORD
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise ParseError(f"expected {text!r}", self.peek())
+        return self.advance()
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        decls: List[ArrayDecl] = []
+        body: List[Stmt] = []
+        # Optional `void name(...) {` wrapper.
+        if self.check("void") or self.check("static"):
+            self._skip_function_header()
+            body_close = True
+        else:
+            body_close = False
+        while not self.peek().kind is TokenKind.EOF:
+            if body_close and self.check("}") and self._only_eof_after():
+                self.advance()
+                break
+            if self._at_declaration():
+                decls.extend(self.parse_declaration())
+            else:
+                body.append(self.parse_statement())
+        return Program(decls, body)
+
+    def _only_eof_after(self) -> bool:
+        return self.peek(1).kind is TokenKind.EOF
+
+    def _skip_function_header(self) -> None:
+        while not self.check("(") and self.peek().kind is not TokenKind.EOF:
+            self.advance()
+        depth = 0
+        while self.peek().kind is not TokenKind.EOF:
+            token = self.advance()
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+        self.expect("{")
+
+    def _at_declaration(self) -> bool:
+        token = self.peek()
+        if token.kind is not TokenKind.KEYWORD:
+            return False
+        return token.text in ELEMENT_SIZES or token.text in (
+            "const", "static", "unsigned"
+        )
+
+    def parse_declaration(self) -> List[ArrayDecl]:
+        while self.peek().text in ("const", "static", "unsigned"):
+            self.advance()
+        type_token = self.advance()
+        if type_token.text not in ELEMENT_SIZES:
+            raise ParseError("expected a type name", type_token)
+        element_size = ELEMENT_SIZES[type_token.text]
+        decls = []
+        while True:
+            name_token = self.advance()
+            if name_token.kind is not TokenKind.IDENT:
+                raise ParseError("expected an identifier", name_token)
+            extents = []
+            while self.accept("["):
+                size_token = self.advance()
+                if size_token.kind is not TokenKind.NUMBER:
+                    raise ParseError(
+                        "array extents must be integer literals",
+                        size_token,
+                    )
+                extents.append(int(size_token.text))
+                self.expect("]")
+            decls.append(ArrayDecl(name_token.text, tuple(extents),
+                                   element_size))
+            if self.accept(";"):
+                break
+            self.expect(",")
+        return decls
+
+    def parse_statement(self) -> Stmt:
+        if self.check("for"):
+            return self.parse_for()
+        if self.check("if"):
+            return self.parse_if()
+        if self.check("{"):
+            raise ParseError(
+                "bare blocks are not supported; attach them to a loop or if",
+                self.peek(),
+            )
+        return self.parse_assign()
+
+    def parse_block(self) -> List[Stmt]:
+        if self.accept("{"):
+            body = []
+            while not self.accept("}"):
+                if self.peek().kind is TokenKind.EOF:
+                    raise ParseError("unterminated block", self.peek())
+                if self._at_declaration():
+                    raise ParseError(
+                        "declarations must precede all statements",
+                        self.peek(),
+                    )
+                body.append(self.parse_statement())
+            return body
+        return [self.parse_statement()]
+
+    def parse_for(self) -> ForLoop:
+        self.expect("for")
+        self.expect("(")
+        self.accept("int")
+        iter_token = self.advance()
+        if iter_token.kind is not TokenKind.IDENT:
+            raise ParseError("expected loop iterator name", iter_token)
+        iterator = iter_token.text
+        self.expect("=")
+        init = self.parse_expr()
+        self.expect(";")
+        # Condition must be `it < bound` or `it <= bound`.
+        cond_lhs = self.advance()
+        if cond_lhs.text != iterator:
+            raise ParseError(
+                f"loop condition must test the iterator {iterator!r}",
+                cond_lhs,
+            )
+        if self.accept("<="):
+            op = "<="
+        elif self.accept("<"):
+            op = "<"
+        else:
+            raise ParseError("loop condition must use '<' or '<='",
+                             self.peek())
+        bound = self.parse_expr()
+        self.expect(";")
+        stride = self.parse_increment(iterator)
+        self.expect(")")
+        body = self.parse_block()
+        return ForLoop(iterator, init, (op, bound), stride, body)
+
+    def parse_increment(self, iterator: str) -> int:
+        token = self.advance()
+        if token.text == "++":
+            name = self.advance()
+            if name.text != iterator:
+                raise ParseError("increment must update the iterator", name)
+            return 1
+        if token.text != iterator:
+            raise ParseError("increment must update the iterator", token)
+        if self.accept("++"):
+            return 1
+        if self.accept("+="):
+            amount = self.advance()
+            if amount.kind is not TokenKind.NUMBER:
+                raise ParseError("stride must be a positive constant",
+                                 amount)
+            stride = int(amount.text)
+            if stride <= 0:
+                raise ParseError("stride must be positive", amount)
+            return stride
+        if self.accept("="):
+            # i = i + c
+            lhs = self.advance()
+            if lhs.text != iterator:
+                raise ParseError("increment must be i = i + c", lhs)
+            self.expect("+")
+            amount = self.advance()
+            if amount.kind is not TokenKind.NUMBER:
+                raise ParseError("stride must be a positive constant",
+                                 amount)
+            return int(amount.text)
+        raise ParseError("unsupported loop increment", self.peek())
+
+    def parse_if(self) -> IfStmt:
+        self.expect("if")
+        self.expect("(")
+        condition = self.parse_condition()
+        self.expect(")")
+        then_body = self.parse_block()
+        else_body: List[Stmt] = []
+        if self.accept("else"):
+            else_body = self.parse_block()
+        return IfStmt(condition, then_body, else_body)
+
+    def parse_condition(self) -> Condition:
+        comparisons = [self.parse_comparison()]
+        while self.accept("&&"):
+            comparisons.append(self.parse_comparison())
+        return Condition(comparisons)
+
+    def parse_comparison(self) -> Tuple[str, Expr, Expr]:
+        lhs = self.parse_expr()
+        for op in ("<=", ">=", "==", "!=", "<", ">"):
+            if self.accept(op):
+                rhs = self.parse_expr()
+                return op, lhs, rhs
+        raise ParseError("expected a comparison operator", self.peek())
+
+    def parse_assign(self) -> Assign:
+        target = self.parse_primary()
+        if not isinstance(target, (ArrayRef, VarExpr)):
+            raise ParseError("assignment target must be a variable or "
+                             "array reference", self.peek())
+        op_token = self.advance()
+        if op_token.text not in ("=", "+=", "-=", "*=", "/="):
+            raise ParseError("expected an assignment operator", op_token)
+        value = self.parse_expr()
+        self.expect(";")
+        return Assign(target, op_token.text, value)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_additive()
+
+    def parse_additive(self) -> Expr:
+        expr = self.parse_multiplicative()
+        while True:
+            if self.accept("+"):
+                expr = BinExpr("+", expr, self.parse_multiplicative())
+            elif self.accept("-"):
+                expr = BinExpr("-", expr, self.parse_multiplicative())
+            else:
+                return expr
+
+    def parse_multiplicative(self) -> Expr:
+        expr = self.parse_unary()
+        while True:
+            if self.accept("*"):
+                expr = BinExpr("*", expr, self.parse_unary())
+            elif self.accept("/"):
+                expr = BinExpr("/", expr, self.parse_unary())
+            elif self.accept("%"):
+                expr = BinExpr("%", expr, self.parse_unary())
+            else:
+                return expr
+
+    def parse_unary(self) -> Expr:
+        if self.accept("-"):
+            return UnaryExpr("-", self.parse_unary())
+        if self.accept("+"):
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return NumExpr(int(token.text))
+        if token.kind is TokenKind.FLOATNUM:
+            self.advance()
+            return NumExpr(0)  # float literals carry no access information
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            if self.check("("):
+                self.advance()
+                args = []
+                if not self.check(")"):
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return CallExpr(token.text, args)
+            if self.check("["):
+                subscripts = []
+                while self.accept("["):
+                    subscripts.append(self.parse_expr())
+                    self.expect("]")
+                return ArrayRef(token.text, subscripts)
+            return VarExpr(token.text)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse_program(source: str) -> Program:
+    """Parse mini-C source into an AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,45 @@
+"""A pure-Python Presburger-lite integer set library.
+
+This subpackage is the reproduction's substitute for isl, the Integer Set
+Library used by the paper.  It implements exactly the slice of isl that
+warping cache simulation needs:
+
+* exact affine expressions over named dimensions (:mod:`repro.isl.affine`),
+* exact rational simplex and branch-and-bound ILP (:mod:`repro.isl.ilp`),
+* quantified basic sets and finite unions with intersection, subtraction,
+  emptiness, sampling and lexicographic optimisation (:mod:`repro.isl.sets`),
+* Presburger maps/relations (:mod:`repro.isl.maps`).
+
+All arithmetic is performed over :class:`int` / :class:`fractions.Fraction`,
+so every answer is exact; there is no floating-point error anywhere in the
+decision procedures.
+"""
+
+from repro.isl.affine import LinExpr
+from repro.isl.ilp import (
+    IlpProblem,
+    IlpStatus,
+    IlpResult,
+)
+from repro.isl.sets import (
+    BasicSet,
+    Set,
+    lex_lt_set,
+    lex_le_set,
+    lex_interval,
+)
+from repro.isl.maps import BasicMap, Map
+
+__all__ = [
+    "LinExpr",
+    "IlpProblem",
+    "IlpStatus",
+    "IlpResult",
+    "BasicSet",
+    "Set",
+    "BasicMap",
+    "Map",
+    "lex_lt_set",
+    "lex_le_set",
+    "lex_interval",
+]

@@ -1,0 +1,214 @@
+"""Exact affine (linear + constant) expressions over named dimensions.
+
+A :class:`LinExpr` represents ``c0 + c1*x1 + ... + cn*xn`` with integer (or
+rational) coefficients.  These are the building blocks for constraints in
+:mod:`repro.isl.sets` and for array subscript / linearisation expressions in
+the polyhedral IR.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+Number = Union[int, Fraction]
+
+
+def _as_number(value: Number) -> Number:
+    if isinstance(value, (int, Fraction)):
+        return value
+    raise TypeError(f"expected int or Fraction, got {type(value).__name__}")
+
+
+class LinExpr:
+    """An immutable affine expression ``const + sum(coeff[d] * d)``.
+
+    Dimensions are identified by arbitrary hashable names (usually strings
+    such as ``"i"``, ``"j"`` or tuples for existential dims).  Coefficients
+    are exact ints or Fractions; zero coefficients are never stored.
+    """
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, Number] | None = None,
+                 const: Number = 0):
+        items = {}
+        if coeffs:
+            for dim, coeff in coeffs.items():
+                coeff = _as_number(coeff)
+                if coeff != 0:
+                    items[dim] = coeff
+        self._coeffs = items
+        self._const = _as_number(const)
+        self._hash = None
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(value: Number) -> "LinExpr":
+        """The constant expression ``value``."""
+        return LinExpr({}, value)
+
+    @staticmethod
+    def var(dim: str, coeff: Number = 1) -> "LinExpr":
+        """The expression ``coeff * dim``."""
+        return LinExpr({dim: coeff}, 0)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def constant(self) -> Number:
+        """The constant term."""
+        return self._const
+
+    @property
+    def coeffs(self) -> Mapping[str, Number]:
+        """Read-only view of the nonzero coefficients."""
+        return dict(self._coeffs)
+
+    def coeff(self, dim: str) -> Number:
+        """Coefficient of ``dim`` (0 if absent)."""
+        return self._coeffs.get(dim, 0)
+
+    def dims(self) -> frozenset:
+        """The set of dimensions with nonzero coefficient."""
+        return frozenset(self._coeffs)
+
+    def is_constant(self) -> bool:
+        """True if the expression has no variable part."""
+        return not self._coeffs
+
+    def is_integral(self) -> bool:
+        """True if all coefficients and the constant are integers."""
+        all_int = all(
+            isinstance(c, int) or (isinstance(c, Fraction) and c.denominator == 1)
+            for c in self._coeffs.values()
+        )
+        const_int = isinstance(self._const, int) or (
+            isinstance(self._const, Fraction) and self._const.denominator == 1
+        )
+        return all_int and const_int
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _combine(self, other: "LinExpr", sign: int) -> "LinExpr":
+        coeffs = dict(self._coeffs)
+        for dim, coeff in other._coeffs.items():
+            coeffs[dim] = coeffs.get(dim, 0) + sign * coeff
+        return LinExpr(coeffs, self._const + sign * other._const)
+
+    def __add__(self, other) -> "LinExpr":
+        if isinstance(other, (int, Fraction)):
+            return LinExpr(self._coeffs, self._const + other)
+        if isinstance(other, LinExpr):
+            return self._combine(other, 1)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        if isinstance(other, (int, Fraction)):
+            return LinExpr(self._coeffs, self._const - other)
+        if isinstance(other, LinExpr):
+            return self._combine(other, -1)
+        return NotImplemented
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-self) + other
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({d: -c for d, c in self._coeffs.items()}, -self._const)
+
+    def __mul__(self, scalar) -> "LinExpr":
+        if not isinstance(scalar, (int, Fraction)):
+            return NotImplemented
+        return LinExpr(
+            {d: c * scalar for d, c in self._coeffs.items()},
+            self._const * scalar,
+        )
+
+    __rmul__ = __mul__
+
+    # -- evaluation / substitution ------------------------------------------
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> Number:
+        """Evaluate under a full assignment of the expression's dims."""
+        total = self._const
+        for dim, coeff in self._coeffs.items():
+            total += coeff * assignment[dim]
+        return total
+
+    def substitute(self, bindings: Mapping[str, "LinExpr"]) -> "LinExpr":
+        """Replace dims by affine expressions; unbound dims stay symbolic."""
+        result = LinExpr.const(self._const)
+        for dim, coeff in self._coeffs.items():
+            if dim in bindings:
+                result = result + bindings[dim] * coeff
+            else:
+                result = result + LinExpr.var(dim, coeff)
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        """Rename dimensions according to ``mapping``."""
+        return LinExpr(
+            {mapping.get(d, d): c for d, c in self._coeffs.items()},
+            self._const,
+        )
+
+    def shift(self, offsets: Mapping[str, Number]) -> "LinExpr":
+        """Substitute ``d -> d + offsets[d]`` for every dim in ``offsets``.
+
+        This is the workhorse for re-expressing symbolic cache contents when
+        loop iterators advance.
+        """
+        const = self._const
+        for dim, off in offsets.items():
+            coeff = self._coeffs.get(dim, 0)
+            if coeff:
+                const += coeff * off
+        return LinExpr(self._coeffs, const)
+
+    # -- comparison / hashing ------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self._const == other._const and self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self._const, tuple(sorted(self._coeffs.items(), key=repr)))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for dim, coeff in sorted(self._coeffs.items(), key=lambda kv: repr(kv[0])):
+            if coeff == 1:
+                parts.append(f"{dim}")
+            elif coeff == -1:
+                parts.append(f"-{dim}")
+            else:
+                parts.append(f"{coeff}*{dim}")
+        if self._const != 0 or not parts:
+            parts.append(str(self._const))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+def lcm_of_denominators(exprs: Iterable[LinExpr]) -> int:
+    """Least common multiple of all coefficient denominators in ``exprs``."""
+    lcm = 1
+    for expr in exprs:
+        values = list(expr.coeffs.values()) + [expr.constant]
+        for value in values:
+            if isinstance(value, Fraction):
+                denom = value.denominator
+                lcm = lcm * denom // _gcd(lcm, denom)
+    return lcm
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

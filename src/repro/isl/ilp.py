@@ -1,0 +1,388 @@
+"""Exact integer linear programming over rationals.
+
+The decision procedures in :mod:`repro.isl.sets` (emptiness, lexmin, ...)
+reduce to small integer linear programs.  This module implements:
+
+* a two-phase dense-tableau **simplex** over :class:`fractions.Fraction`
+  with Bland's rule (exact, always terminating), and
+* **branch-and-bound** on top of it for integer solutions.
+
+Problem sizes in this project are tiny (a handful of dimensions, a few dozen
+constraints), so a dense exact implementation is both fast enough and free
+of floating-point soundness bugs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isl.affine import LinExpr
+
+
+class IlpStatus(enum.Enum):
+    """Outcome of an (I)LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass
+class IlpResult:
+    """Result of an (I)LP solve: a status and, when optimal, the optimum."""
+
+    status: IlpStatus
+    objective: Optional[Fraction] = None
+    assignment: Optional[Dict[str, Fraction]] = None
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.status is IlpStatus.OPTIMAL
+
+
+class BranchLimitExceeded(RuntimeError):
+    """Raised when branch-and-bound exceeds its node budget.
+
+    This guards against accidentally unbounded integer problems; all sets
+    arising in warping cache simulation are bounded, so hitting this limit
+    indicates a modelling bug rather than a hard instance.
+    """
+
+
+@dataclass
+class _StandardForm:
+    """min c.x s.t. A x <= b, x >= 0 (x is the vector of split variables)."""
+
+    var_names: List[str]
+    # each original variable maps to (positive-part index, negative-part index)
+    split: Dict[str, Tuple[int, int]]
+    a_rows: List[List[Fraction]]
+    b: List[Fraction]
+    c: List[Fraction]
+
+
+class IlpProblem:
+    """An integer linear program built from :class:`LinExpr` constraints.
+
+    Constraints are affine expressions asserted to be ``>= 0`` or ``== 0``.
+    All variables are integer-valued and unrestricted in sign (bounds, if
+    any, must be supplied as ordinary constraints).
+    """
+
+    def __init__(self):
+        self._ge_constraints: List[LinExpr] = []
+        self._eq_constraints: List[LinExpr] = []
+        self._vars: List[str] = []
+        self._var_set = set()
+
+    # -- construction --------------------------------------------------------
+
+    def add_var(self, name: str) -> None:
+        """Declare a variable (idempotent; order defines tie-breaking)."""
+        if name not in self._var_set:
+            self._var_set.add(name)
+            self._vars.append(name)
+
+    def add_ge0(self, expr: LinExpr) -> None:
+        """Assert ``expr >= 0``."""
+        for dim in expr.dims():
+            self.add_var(dim)
+        self._ge_constraints.append(expr)
+
+    def add_eq0(self, expr: LinExpr) -> None:
+        """Assert ``expr == 0``."""
+        for dim in expr.dims():
+            self.add_var(dim)
+        self._eq_constraints.append(expr)
+
+    @property
+    def variables(self) -> Sequence[str]:
+        return tuple(self._vars)
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve_lp(self, objective: LinExpr,
+                 minimize: bool = True) -> IlpResult:
+        """Solve the LP relaxation exactly."""
+        for dim in objective.dims():
+            self.add_var(dim)
+        form = self._to_standard_form(objective if minimize else -objective)
+        status, value, point = _simplex(form)
+        if status is not IlpStatus.OPTIMAL:
+            return IlpResult(status)
+        assignment = self._recover(form, point)
+        obj_value = objective.evaluate(assignment)
+        return IlpResult(IlpStatus.OPTIMAL, Fraction(obj_value), assignment)
+
+    def solve_ilp(self, objective: LinExpr, minimize: bool = True,
+                  max_nodes: int = 200_000) -> IlpResult:
+        """Solve for integer variables via branch-and-bound."""
+        for dim in objective.dims():
+            self.add_var(dim)
+        sense = 1 if minimize else -1
+        best: Optional[IlpResult] = None
+        # stack of extra >=0 constraints describing each subproblem
+        stack: List[List[LinExpr]] = [[]]
+        nodes = 0
+        while stack:
+            nodes += 1
+            if nodes > max_nodes:
+                raise BranchLimitExceeded(
+                    f"branch-and-bound exceeded {max_nodes} nodes; "
+                    "is the problem bounded?"
+                )
+            extra = stack.pop()
+            sub = self._with_extra(extra)
+            relax = sub.solve_lp(objective * sense, minimize=True)
+            if relax.status is IlpStatus.INFEASIBLE:
+                continue
+            if relax.status is IlpStatus.UNBOUNDED:
+                # The relaxation is unbounded.  If an integer point exists the
+                # ILP itself is unbounded in the objective direction; since all
+                # uses in this project are bounded, report it faithfully.
+                feas = self._find_integer_point(sub, max_nodes - nodes)
+                if feas is None:
+                    continue
+                return IlpResult(IlpStatus.UNBOUNDED)
+            if best is not None and relax.objective >= best.objective * sense:
+                continue  # bound: cannot improve on incumbent
+            frac_dim = _first_fractional(relax.assignment, self._vars)
+            if frac_dim is None:
+                value = objective.evaluate(relax.assignment)
+                candidate = IlpResult(
+                    IlpStatus.OPTIMAL, Fraction(value),
+                    {d: Fraction(v) for d, v in relax.assignment.items()},
+                )
+                if best is None or sense * candidate.objective < sense * best.objective:
+                    best = candidate
+                continue
+            split_value = relax.assignment[frac_dim]
+            floor_v = split_value.numerator // split_value.denominator
+            # x <= floor(v)  ->  floor(v) - x >= 0
+            stack.append(extra + [LinExpr({frac_dim: -1}, floor_v)])
+            # x >= floor(v)+1  ->  x - floor(v) - 1 >= 0
+            stack.append(extra + [LinExpr({frac_dim: 1}, -(floor_v + 1))])
+        if best is None:
+            return IlpResult(IlpStatus.INFEASIBLE)
+        return best
+
+    def is_feasible(self, max_nodes: int = 200_000) -> bool:
+        """True if the constraints admit an integer solution."""
+        result = self.solve_ilp(LinExpr.const(0), max_nodes=max_nodes)
+        return result.status is IlpStatus.OPTIMAL
+
+    def find_point(self, max_nodes: int = 200_000) -> Optional[Dict[str, int]]:
+        """Return some integer solution, or None if infeasible."""
+        result = self.solve_ilp(LinExpr.const(0), max_nodes=max_nodes)
+        if result.status is not IlpStatus.OPTIMAL:
+            return None
+        return {d: int(v) for d, v in result.assignment.items()}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _with_extra(self, extra: List[LinExpr]) -> "IlpProblem":
+        sub = IlpProblem()
+        for var in self._vars:
+            sub.add_var(var)
+        for con in self._ge_constraints:
+            sub.add_ge0(con)
+        for con in self._eq_constraints:
+            sub.add_eq0(con)
+        for con in extra:
+            sub.add_ge0(con)
+        return sub
+
+    def _find_integer_point(self, sub: "IlpProblem",
+                            budget: int) -> Optional[Dict[str, int]]:
+        try:
+            return sub.find_point(max_nodes=max(budget, 1000))
+        except BranchLimitExceeded:
+            return None
+
+    def _to_standard_form(self, objective: LinExpr) -> _StandardForm:
+        split = {}
+        var_names = []
+        for var in self._vars:
+            pos = len(var_names)
+            var_names.append(f"{var}+")
+            neg = len(var_names)
+            var_names.append(f"{var}-")
+            split[var] = (pos, neg)
+        n = len(var_names)
+
+        def row_of(expr: LinExpr) -> Tuple[List[Fraction], Fraction]:
+            # expr >= 0  <=>  -expr <= 0  <=>  sum(-coeff * x) <= const
+            row = [Fraction(0)] * n
+            for dim, coeff in expr.coeffs.items():
+                pos, neg = split[dim]
+                row[pos] -= Fraction(coeff)
+                row[neg] += Fraction(coeff)
+            return row, Fraction(expr.constant)
+
+        a_rows: List[List[Fraction]] = []
+        b: List[Fraction] = []
+        for con in self._ge_constraints:
+            row, rhs = row_of(con)
+            a_rows.append(row)
+            b.append(rhs)
+        for con in self._eq_constraints:
+            row, rhs = row_of(con)
+            a_rows.append(row)
+            b.append(rhs)
+            a_rows.append([-v for v in row])
+            b.append(-rhs)
+
+        c = [Fraction(0)] * n
+        for dim, coeff in objective.coeffs.items():
+            pos, neg = split[dim]
+            c[pos] += Fraction(coeff)
+            c[neg] -= Fraction(coeff)
+        return _StandardForm(var_names, split, a_rows, b, c)
+
+    def _recover(self, form: _StandardForm,
+                 point: List[Fraction]) -> Dict[str, Fraction]:
+        assignment = {}
+        for var, (pos, neg) in form.split.items():
+            assignment[var] = point[pos] - point[neg]
+        return assignment
+
+
+def _first_fractional(assignment: Dict[str, Fraction],
+                      order: Sequence[str]) -> Optional[str]:
+    for dim in order:
+        value = assignment.get(dim, Fraction(0))
+        if value.denominator != 1:
+            return dim
+    return None
+
+
+def _simplex(form: _StandardForm):
+    """Two-phase simplex. Returns (status, objective value, point)."""
+    m = len(form.a_rows)
+    n = len(form.var_names)
+    if m == 0:
+        # No constraints: optimum is 0 at origin unless objective can decrease,
+        # in which case it is unbounded (variables are nonnegative here).
+        if any(c < 0 for c in form.c):
+            return IlpStatus.UNBOUNDED, None, None
+        return IlpStatus.OPTIMAL, Fraction(0), [Fraction(0)] * n
+
+    # Tableau layout: columns = n structural vars, m slack vars, rhs.
+    # Phase 1 additionally appends artificial vars for rows with negative rhs.
+    tableau = []
+    basis = []
+    negative_rows = [i for i in range(m) if form.b[i] < 0]
+    num_art = len(negative_rows)
+    width = n + m + num_art + 1
+    art_index = {}
+    for k, i in enumerate(negative_rows):
+        art_index[i] = n + m + k
+    for i in range(m):
+        row = [Fraction(0)] * width
+        sign = -1 if form.b[i] < 0 else 1
+        for j in range(n):
+            row[j] = sign * form.a_rows[i][j]
+        row[n + i] = Fraction(sign)
+        row[-1] = sign * form.b[i]
+        if i in art_index:
+            row[art_index[i]] = Fraction(1)
+            basis.append(art_index[i])
+        else:
+            basis.append(n + i)
+        tableau.append(row)
+
+    if num_art:
+        # Phase 1: minimise sum of artificials.
+        obj = [Fraction(0)] * width
+        for i in art_index.values():
+            obj[i] = Fraction(1)
+        _price_out(obj, tableau, basis)
+        status = _iterate(tableau, basis, obj, n + m + num_art)
+        if status is IlpStatus.UNBOUNDED or obj[-1] != 0:
+            # Phase-1 objective > 0 at optimum means infeasible. The phase-1
+            # objective is bounded below by 0, so UNBOUNDED cannot occur; we
+            # treat it as infeasible defensively.
+            return IlpStatus.INFEASIBLE, None, None
+        # Drive any artificial variables out of the basis.
+        for r, var in enumerate(basis):
+            if var >= n + m:
+                pivot_col = next(
+                    (j for j in range(n + m) if tableau[r][j] != 0), None
+                )
+                if pivot_col is None:
+                    continue  # redundant row
+                _pivot(tableau, basis, r, pivot_col)
+
+    # Phase 2.
+    obj = [Fraction(0)] * width
+    for j in range(n):
+        obj[j] = form.c[j]
+    _price_out(obj, tableau, basis)
+    status = _iterate(tableau, basis, obj, n + m)
+    if status is IlpStatus.UNBOUNDED:
+        return IlpStatus.UNBOUNDED, None, None
+    point = [Fraction(0)] * n
+    for r, var in enumerate(basis):
+        if var < n:
+            point[var] = tableau[r][-1]
+    return IlpStatus.OPTIMAL, -obj[-1], point
+
+
+def _price_out(obj: List[Fraction], tableau, basis) -> None:
+    """Make the objective row consistent with the current basis."""
+    for r, var in enumerate(basis):
+        coeff = obj[var]
+        if coeff != 0:
+            row = tableau[r]
+            for j in range(len(obj)):
+                obj[j] -= coeff * row[j]
+
+
+def _iterate(tableau, basis, obj, num_cols) -> IlpStatus:
+    """Run simplex iterations with Bland's rule until optimal/unbounded."""
+    m = len(tableau)
+    while True:
+        enter = next(
+            (j for j in range(num_cols) if obj[j] < 0), None
+        )
+        if enter is None:
+            return IlpStatus.OPTIMAL
+        # ratio test (Bland: smallest basis var index breaks ties)
+        leave = None
+        best_ratio = None
+        for r in range(m):
+            coeff = tableau[r][enter]
+            if coeff > 0:
+                ratio = tableau[r][-1] / coeff
+                if (best_ratio is None or ratio < best_ratio
+                        or (ratio == best_ratio and basis[r] < basis[leave])):
+                    best_ratio = ratio
+                    leave = r
+        if leave is None:
+            return IlpStatus.UNBOUNDED
+        _pivot(tableau, basis, leave, enter)
+        coeff = obj[enter]
+        if coeff != 0:
+            row = tableau[leave]
+            for j in range(len(obj)):
+                obj[j] -= coeff * row[j]
+
+
+def _pivot(tableau, basis, row: int, col: int) -> None:
+    """Pivot the tableau so that ``col`` becomes basic in ``row``."""
+    pivot_row = tableau[row]
+    pivot_val = pivot_row[col]
+    inv = Fraction(1) / pivot_val
+    for j in range(len(pivot_row)):
+        pivot_row[j] *= inv
+    for r, other in enumerate(tableau):
+        if r == row:
+            continue
+        factor = other[col]
+        if factor != 0:
+            for j in range(len(other)):
+                other[j] -= factor * pivot_row[j]
+    basis[row] = col

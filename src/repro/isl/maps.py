@@ -1,0 +1,145 @@
+"""Presburger relations (maps) built on top of :class:`repro.isl.sets`.
+
+A :class:`BasicMap` relates input tuples to output tuples subject to a
+conjunction of affine constraints over both tuples (plus divs /
+existentials).  It is represented as a :class:`BasicSet` over the
+concatenation ``in_dims + out_dims``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.isl.affine import LinExpr
+from repro.isl.sets import BasicSet, Set
+
+
+class BasicMap:
+    """A single-disjunct Presburger relation ``in -> out``."""
+
+    __slots__ = ("in_dims", "out_dims", "wrapped")
+
+    def __init__(self, in_dims: Sequence[str], out_dims: Sequence[str],
+                 wrapped: BasicSet):
+        self.in_dims: Tuple[str, ...] = tuple(in_dims)
+        self.out_dims: Tuple[str, ...] = tuple(out_dims)
+        if wrapped.dims != self.in_dims + self.out_dims:
+            raise ValueError("wrapped set dims must be in_dims + out_dims")
+        if set(self.in_dims) & set(self.out_dims):
+            raise ValueError("in/out dims must be disjoint")
+        self.wrapped = wrapped
+
+    @staticmethod
+    def from_exprs(in_dims: Sequence[str], out_dims: Sequence[str],
+                   out_exprs: Sequence[LinExpr],
+                   domain: Optional[BasicSet] = None) -> "BasicMap":
+        """The graph of an affine function, optionally domain-restricted."""
+        in_dims = tuple(in_dims)
+        out_dims = tuple(out_dims)
+        if len(out_dims) != len(out_exprs):
+            raise ValueError("arity mismatch")
+        all_dims = in_dims + out_dims
+        eqs = [LinExpr.var(d) - e for d, e in zip(out_dims, out_exprs)]
+        ineqs: List[LinExpr] = []
+        divs = ()
+        exists: Tuple[str, ...] = ()
+        if domain is not None:
+            if domain.dims != in_dims:
+                raise ValueError("domain dims mismatch")
+            lifted = BasicSet(all_dims, domain.eqs, domain.ineqs,
+                              domain.divs, domain.exists)
+            eqs = list(lifted.eqs) + eqs
+            ineqs = list(lifted.ineqs)
+            divs = lifted.divs
+            exists = lifted.exists
+        return BasicMap(in_dims, out_dims,
+                        BasicSet(all_dims, eqs, ineqs, divs, exists))
+
+    def domain(self) -> BasicSet:
+        """Project onto the input dims."""
+        return self.wrapped.project_to_exists(self.out_dims)
+
+    def range(self) -> BasicSet:
+        """Project onto the output dims."""
+        hidden = self.wrapped.project_to_exists(self.in_dims)
+        # project_to_exists keeps remaining dims in original order, which is
+        # already out_dims since in_dims precede them.
+        return hidden
+
+    def fix_input(self, point: Sequence[int]) -> BasicSet:
+        """The image of a single input point, as a set over out_dims."""
+        if len(point) != len(self.in_dims):
+            raise ValueError("input arity mismatch")
+        constrained = self.wrapped
+        for dim, value in zip(self.in_dims, point):
+            constrained = constrained.with_constraint_eq0(
+                LinExpr.var(dim) - value
+            )
+        return constrained.project_to_exists(self.in_dims)
+
+    def intersect_domain(self, dom: BasicSet) -> "BasicMap":
+        """Restrict the relation's domain."""
+        if dom.dims != self.in_dims:
+            raise ValueError("domain dims mismatch")
+        lifted = BasicSet(self.wrapped.dims, dom.eqs, dom.ineqs,
+                          dom.divs, dom.exists)
+        return BasicMap(self.in_dims, self.out_dims,
+                        self.wrapped.intersect(lifted))
+
+    def is_empty(self) -> bool:
+        return self.wrapped.is_empty()
+
+    def sample(self) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        point = self.wrapped.sample()
+        if point is None:
+            return None
+        n = len(self.in_dims)
+        return point[:n], point[n:]
+
+    def __repr__(self) -> str:
+        return (f"BasicMap({list(self.in_dims)} -> {list(self.out_dims)}: "
+                f"{self.wrapped!r})")
+
+
+class Map:
+    """A finite union of :class:`BasicMap` with identical signatures."""
+
+    __slots__ = ("in_dims", "out_dims", "pieces")
+
+    def __init__(self, in_dims: Sequence[str], out_dims: Sequence[str],
+                 pieces: Iterable[BasicMap] = ()):
+        self.in_dims = tuple(in_dims)
+        self.out_dims = tuple(out_dims)
+        self.pieces: Tuple[BasicMap, ...] = tuple(pieces)
+        for piece in self.pieces:
+            if (piece.in_dims != self.in_dims
+                    or piece.out_dims != self.out_dims):
+                raise ValueError("piece signature mismatch")
+
+    def union(self, other: "Map") -> "Map":
+        return Map(self.in_dims, self.out_dims, self.pieces + other.pieces)
+
+    def domain(self) -> Set:
+        return Set(self.in_dims, [p.domain() for p in self.pieces])
+
+    def range(self) -> Set:
+        return Set(self.out_dims, [p.range() for p in self.pieces])
+
+    def fix_input(self, point: Sequence[int]) -> Set:
+        return Set(self.out_dims, [p.fix_input(point) for p in self.pieces])
+
+    def is_empty(self) -> bool:
+        return all(p.is_empty() for p in self.pieces)
+
+    def is_functional_on(self, point: Sequence[int]) -> bool:
+        """True if the image of ``point`` has at most one element."""
+        image = self.fix_input(point)
+        first = image.lexmin()
+        if first is None:
+            return True
+        last = image.lexmax()
+        return first == last
+
+    def __repr__(self) -> str:
+        return (f"Map({len(self.pieces)} pieces, "
+                f"{list(self.in_dims)} -> {list(self.out_dims)})")

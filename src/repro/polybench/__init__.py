@@ -1,0 +1,36 @@
+"""PolyBench 4.2.1 kernels as SCoPs.
+
+All 30 PolyBench/C benchmarks re-expressed with
+:class:`repro.polyhedral.ScopBuilder`, preserving the loop structure and
+the source-level array references of the C originals (scalar temporaries
+are register-allocated under ``-O2`` and are not memory accesses; the
+paper's tool likewise considers array accesses only).
+
+Backward loops (deriche, nussinov, ludcmp's back-substitution, adi's
+sweeps) are normalised to forward loops by the substitution
+``i -> bound - i``, which preserves the access sequence order and is the
+standard polyhedral normalisation.
+
+Use :func:`get_kernel` / :func:`build_kernel`::
+
+    scop = build_kernel("gemm", "MINI")
+    scop = build_kernel("gemm", {"NI": 10, "NJ": 12, "NK": 14})
+"""
+
+from repro.polybench.registry import (
+    KERNELS,
+    KernelSpec,
+    all_kernel_names,
+    build_kernel,
+    get_kernel,
+    SIZE_CLASSES,
+)
+
+__all__ = [
+    "KERNELS",
+    "KernelSpec",
+    "all_kernel_names",
+    "build_kernel",
+    "get_kernel",
+    "SIZE_CLASSES",
+]

@@ -1,0 +1,197 @@
+"""linear-algebra/blas kernels: gemm, gemver, gesummv, symm, syr2k, syrk, trmm."""
+
+from __future__ import annotations
+
+from repro.polybench.registry import register
+from repro.polyhedral import ScopBuilder
+
+
+@register("gemm", "linear-algebra/blas", ("NI", "NJ", "NK"), {
+    "MINI": (20, 25, 30), "SMALL": (60, 70, 80),
+    "MEDIUM": (200, 220, 240), "LARGE": (1000, 1100, 1200),
+    "EXTRALARGE": (2000, 2300, 2600),
+})
+def gemm(NI: int, NJ: int, NK: int):
+    """C := alpha*A*B + beta*C."""
+    b = ScopBuilder("gemm")
+    C = b.array("C", (NI, NJ))
+    A = b.array("A", (NI, NK))
+    B = b.array("B", (NK, NJ))
+    with b.loop("i", 0, NI):
+        with b.loop("j", 0, NJ):
+            b.read(C, b.i, b.j)
+            b.write(C, b.i, b.j)
+        with b.loop("k", 0, NK):
+            with b.loop("j", 0, NJ):
+                b.read(A, b.i, b.k)
+                b.read(B, b.k, b.j)
+                b.read(C, b.i, b.j)
+                b.write(C, b.i, b.j)
+    return b.build()
+
+
+@register("gemver", "linear-algebra/blas", ("N",), {
+    "MINI": (40,), "SMALL": (120,), "MEDIUM": (400,),
+    "LARGE": (2000,), "EXTRALARGE": (4000,),
+})
+def gemver(N: int):
+    """A := A + u1 v1^T + u2 v2^T;  x := beta A^T y + z;  w := alpha A x."""
+    b = ScopBuilder("gemver")
+    A = b.array("A", (N, N))
+    u1 = b.array("u1", (N,))
+    v1 = b.array("v1", (N,))
+    u2 = b.array("u2", (N,))
+    v2 = b.array("v2", (N,))
+    w = b.array("w", (N,))
+    x = b.array("x", (N,))
+    y = b.array("y", (N,))
+    z = b.array("z", (N,))
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, N):
+            b.read(A, b.i, b.j)
+            b.read(u1, b.i)
+            b.read(v1, b.j)
+            b.read(u2, b.i)
+            b.read(v2, b.j)
+            b.write(A, b.i, b.j)
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, N):
+            b.read(x, b.i)
+            b.read(A, b.j, b.i)
+            b.read(y, b.j)
+            b.write(x, b.i)
+    with b.loop("i", 0, N):
+        b.read(x, b.i)
+        b.read(z, b.i)
+        b.write(x, b.i)
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, N):
+            b.read(w, b.i)
+            b.read(A, b.i, b.j)
+            b.read(x, b.j)
+            b.write(w, b.i)
+    return b.build()
+
+
+@register("gesummv", "linear-algebra/blas", ("N",), {
+    "MINI": (30,), "SMALL": (90,), "MEDIUM": (250,),
+    "LARGE": (1300,), "EXTRALARGE": (2800,),
+})
+def gesummv(N: int):
+    """y := alpha*A*x + beta*B*x."""
+    b = ScopBuilder("gesummv")
+    A = b.array("A", (N, N))
+    B = b.array("B", (N, N))
+    tmp = b.array("tmp", (N,))
+    x = b.array("x", (N,))
+    y = b.array("y", (N,))
+    with b.loop("i", 0, N):
+        b.write(tmp, b.i)
+        b.write(y, b.i)
+        with b.loop("j", 0, N):
+            b.read(A, b.i, b.j)
+            b.read(x, b.j)
+            b.read(tmp, b.i)
+            b.write(tmp, b.i)
+            b.read(B, b.i, b.j)
+            b.read(x, b.j)
+            b.read(y, b.i)
+            b.write(y, b.i)
+        b.read(tmp, b.i)
+        b.read(y, b.i)
+        b.write(y, b.i)
+    return b.build()
+
+
+@register("symm", "linear-algebra/blas", ("M", "N"), {
+    "MINI": (20, 30), "SMALL": (60, 80), "MEDIUM": (200, 240),
+    "LARGE": (1000, 1200), "EXTRALARGE": (2000, 2600),
+})
+def symm(M: int, N: int):
+    """C := alpha*A*B + beta*C with symmetric A (lower stored)."""
+    b = ScopBuilder("symm")
+    C = b.array("C", (M, N))
+    A = b.array("A", (M, M))
+    B = b.array("B", (M, N))
+    with b.loop("i", 0, M):
+        with b.loop("j", 0, N):
+            with b.loop("k", 0, b.i):
+                b.read(B, b.i, b.j)
+                b.read(A, b.i, b.k)
+                b.read(C, b.k, b.j)
+                b.write(C, b.k, b.j)
+                b.read(B, b.k, b.j)
+                b.read(A, b.i, b.k)
+            b.read(C, b.i, b.j)
+            b.read(B, b.i, b.j)
+            b.read(A, b.i, b.i)
+            b.write(C, b.i, b.j)
+    return b.build()
+
+
+@register("syr2k", "linear-algebra/blas", ("M", "N"), {
+    "MINI": (20, 30), "SMALL": (60, 80), "MEDIUM": (200, 240),
+    "LARGE": (1000, 1200), "EXTRALARGE": (2000, 2600),
+})
+def syr2k(M: int, N: int):
+    """C := alpha*(A*B^T + B*A^T) + beta*C, lower triangle."""
+    b = ScopBuilder("syr2k")
+    C = b.array("C", (N, N))
+    A = b.array("A", (N, M))
+    B = b.array("B", (N, M))
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, b.i + 1):
+            b.read(C, b.i, b.j)
+            b.write(C, b.i, b.j)
+        with b.loop("k", 0, M):
+            with b.loop("j", 0, b.i + 1):
+                b.read(A, b.j, b.k)
+                b.read(B, b.i, b.k)
+                b.read(B, b.j, b.k)
+                b.read(A, b.i, b.k)
+                b.read(C, b.i, b.j)
+                b.write(C, b.i, b.j)
+    return b.build()
+
+
+@register("syrk", "linear-algebra/blas", ("M", "N"), {
+    "MINI": (20, 30), "SMALL": (60, 80), "MEDIUM": (200, 240),
+    "LARGE": (1000, 1200), "EXTRALARGE": (2000, 2600),
+})
+def syrk(M: int, N: int):
+    """C := alpha*A*A^T + beta*C, lower triangle."""
+    b = ScopBuilder("syrk")
+    C = b.array("C", (N, N))
+    A = b.array("A", (N, M))
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, b.i + 1):
+            b.read(C, b.i, b.j)
+            b.write(C, b.i, b.j)
+        with b.loop("k", 0, M):
+            with b.loop("j", 0, b.i + 1):
+                b.read(A, b.i, b.k)
+                b.read(A, b.j, b.k)
+                b.read(C, b.i, b.j)
+                b.write(C, b.i, b.j)
+    return b.build()
+
+
+@register("trmm", "linear-algebra/blas", ("M", "N"), {
+    "MINI": (20, 30), "SMALL": (60, 80), "MEDIUM": (200, 240),
+    "LARGE": (1000, 1200), "EXTRALARGE": (2000, 2600),
+})
+def trmm(M: int, N: int):
+    """B := alpha*A^T*B, A lower triangular."""
+    b = ScopBuilder("trmm")
+    A = b.array("A", (M, M))
+    B = b.array("B", (M, N))
+    with b.loop("i", 0, M):
+        with b.loop("j", 0, N):
+            with b.loop("k", b.i + 1, M):
+                b.read(A, b.k, b.i)
+                b.read(B, b.k, b.j)
+                b.read(B, b.i, b.j)
+                b.write(B, b.i, b.j)
+            b.read(B, b.i, b.j)
+            b.write(B, b.i, b.j)
+    return b.build()

@@ -1,0 +1,93 @@
+"""datamining kernels: correlation, covariance."""
+
+from __future__ import annotations
+
+from repro.polybench.registry import register
+from repro.polyhedral import ScopBuilder
+
+
+@register("correlation", "datamining", ("M", "N"), {
+    "MINI": (28, 32), "SMALL": (80, 100), "MEDIUM": (240, 260),
+    "LARGE": (1200, 1400), "EXTRALARGE": (2600, 3000),
+})
+def correlation(M: int, N: int):
+    """Pearson correlation matrix of an N x M data matrix."""
+    b = ScopBuilder("correlation")
+    data = b.array("data", (N, M))
+    corr = b.array("corr", (M, M))
+    mean = b.array("mean", (M,))
+    stddev = b.array("stddev", (M,))
+    with b.loop("j", 0, M):
+        b.write(mean, b.j)
+        with b.loop("i", 0, N):
+            b.read(data, b.i, b.j)
+            b.read(mean, b.j)
+            b.write(mean, b.j)
+        b.read(mean, b.j)
+        b.write(mean, b.j)
+    with b.loop("j", 0, M):
+        b.write(stddev, b.j)
+        with b.loop("i", 0, N):
+            b.read(data, b.i, b.j)
+            b.read(mean, b.j)
+            b.read(stddev, b.j)
+            b.write(stddev, b.j)
+        b.read(stddev, b.j)
+        b.write(stddev, b.j)
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, M):
+            b.read(data, b.i, b.j)
+            b.read(mean, b.j)
+            b.read(stddev, b.j)
+            b.write(data, b.i, b.j)
+    with b.loop("i", 0, M - 1):
+        b.write(corr, b.i, b.i)
+        with b.loop("j", b.i + 1, M):
+            b.write(corr, b.i, b.j)
+            with b.loop("k", 0, N):
+                b.read(data, b.k, b.i)
+                b.read(data, b.k, b.j)
+                b.read(corr, b.i, b.j)
+                b.write(corr, b.i, b.j)
+            b.read(corr, b.i, b.j)
+            b.write(corr, b.j, b.i)
+    b.write(corr, M - 1, M - 1)
+    return b.build()
+
+
+@register("covariance", "datamining", ("M", "N"), {
+    "MINI": (28, 32), "SMALL": (80, 100), "MEDIUM": (240, 260),
+    "LARGE": (1200, 1400), "EXTRALARGE": (2600, 3000),
+})
+def covariance(M: int, N: int):
+    """Covariance matrix of an N x M data matrix."""
+    b = ScopBuilder("covariance")
+    data = b.array("data", (N, M))
+    cov = b.array("cov", (M, M))
+    mean = b.array("mean", (M,))
+    with b.loop("j", 0, M):
+        b.write(mean, b.j)
+        with b.loop("i", 0, N):
+            b.read(data, b.i, b.j)
+            b.read(mean, b.j)
+            b.write(mean, b.j)
+        b.read(mean, b.j)
+        b.write(mean, b.j)
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, M):
+            b.read(data, b.i, b.j)
+            b.read(mean, b.j)
+            b.write(data, b.i, b.j)
+    with b.loop("i", 0, M):
+        with b.loop("j", b.i, M):
+            b.write(cov, b.i, b.j)
+            with b.loop("k", 0, N):
+                b.read(data, b.k, b.i)
+                b.read(data, b.k, b.j)
+                b.read(cov, b.i, b.j)
+                b.write(cov, b.i, b.j)
+            b.read(cov, b.i, b.j)
+            b.write(cov, b.i, b.j)
+            b.read(cov, b.i, b.j)
+            b.write(cov, b.j, b.i)
+    return b.build()

@@ -1,0 +1,190 @@
+"""linear-algebra/kernels: 2mm, 3mm, atax, bicg, doitgen, mvt."""
+
+from __future__ import annotations
+
+from repro.polybench.registry import register
+from repro.polyhedral import ScopBuilder
+
+
+@register("2mm", "linear-algebra/kernels", ("NI", "NJ", "NK", "NL"), {
+    "MINI": (16, 18, 22, 24), "SMALL": (40, 50, 70, 80),
+    "MEDIUM": (180, 190, 210, 220), "LARGE": (800, 900, 1100, 1200),
+    "EXTRALARGE": (1600, 1800, 2200, 2400),
+})
+def two_mm(NI: int, NJ: int, NK: int, NL: int):
+    """D := alpha*A*B*C + beta*D."""
+    b = ScopBuilder("2mm")
+    tmp = b.array("tmp", (NI, NJ))
+    A = b.array("A", (NI, NK))
+    B = b.array("B", (NK, NJ))
+    C = b.array("C", (NJ, NL))
+    D = b.array("D", (NI, NL))
+    with b.loop("i", 0, NI):
+        with b.loop("j", 0, NJ):
+            b.write(tmp, b.i, b.j)
+            with b.loop("k", 0, NK):
+                b.read(A, b.i, b.k)
+                b.read(B, b.k, b.j)
+                b.read(tmp, b.i, b.j)
+                b.write(tmp, b.i, b.j)
+    with b.loop("i", 0, NI):
+        with b.loop("j", 0, NL):
+            b.read(D, b.i, b.j)
+            b.write(D, b.i, b.j)
+            with b.loop("k", 0, NJ):
+                b.read(tmp, b.i, b.k)
+                b.read(C, b.k, b.j)
+                b.read(D, b.i, b.j)
+                b.write(D, b.i, b.j)
+    return b.build()
+
+
+@register("3mm", "linear-algebra/kernels", ("NI", "NJ", "NK", "NL", "NM"), {
+    "MINI": (16, 18, 20, 22, 24), "SMALL": (40, 50, 60, 70, 80),
+    "MEDIUM": (180, 190, 200, 210, 220),
+    "LARGE": (800, 900, 1000, 1100, 1200),
+    "EXTRALARGE": (1600, 1800, 2000, 2200, 2400),
+})
+def three_mm(NI: int, NJ: int, NK: int, NL: int, NM: int):
+    """G := (A*B) * (C*D)."""
+    b = ScopBuilder("3mm")
+    E = b.array("E", (NI, NJ))
+    A = b.array("A", (NI, NK))
+    B = b.array("B", (NK, NJ))
+    F = b.array("F", (NJ, NL))
+    C = b.array("C", (NJ, NM))
+    D = b.array("D", (NM, NL))
+    G = b.array("G", (NI, NL))
+    with b.loop("i", 0, NI):
+        with b.loop("j", 0, NJ):
+            b.write(E, b.i, b.j)
+            with b.loop("k", 0, NK):
+                b.read(A, b.i, b.k)
+                b.read(B, b.k, b.j)
+                b.read(E, b.i, b.j)
+                b.write(E, b.i, b.j)
+    with b.loop("i", 0, NJ):
+        with b.loop("j", 0, NL):
+            b.write(F, b.i, b.j)
+            with b.loop("k", 0, NM):
+                b.read(C, b.i, b.k)
+                b.read(D, b.k, b.j)
+                b.read(F, b.i, b.j)
+                b.write(F, b.i, b.j)
+    with b.loop("i", 0, NI):
+        with b.loop("j", 0, NL):
+            b.write(G, b.i, b.j)
+            with b.loop("k", 0, NJ):
+                b.read(E, b.i, b.k)
+                b.read(F, b.k, b.j)
+                b.read(G, b.i, b.j)
+                b.write(G, b.i, b.j)
+    return b.build()
+
+
+@register("atax", "linear-algebra/kernels", ("M", "N"), {
+    "MINI": (38, 42), "SMALL": (116, 124), "MEDIUM": (390, 410),
+    "LARGE": (1900, 2100), "EXTRALARGE": (1800, 2200),
+})
+def atax(M: int, N: int):
+    """y := A^T * (A * x)."""
+    b = ScopBuilder("atax")
+    A = b.array("A", (M, N))
+    x = b.array("x", (N,))
+    y = b.array("y", (N,))
+    tmp = b.array("tmp", (M,))
+    with b.loop("i", 0, N):
+        b.write(y, b.i)
+    with b.loop("i", 0, M):
+        b.write(tmp, b.i)
+        with b.loop("j", 0, N):
+            b.read(A, b.i, b.j)
+            b.read(x, b.j)
+            b.read(tmp, b.i)
+            b.write(tmp, b.i)
+        with b.loop("j", 0, N):
+            b.read(y, b.j)
+            b.read(A, b.i, b.j)
+            b.read(tmp, b.i)
+            b.write(y, b.j)
+    return b.build()
+
+
+@register("bicg", "linear-algebra/kernels", ("M", "N"), {
+    "MINI": (38, 42), "SMALL": (116, 124), "MEDIUM": (390, 410),
+    "LARGE": (1900, 2100), "EXTRALARGE": (1800, 2200),
+})
+def bicg(M: int, N: int):
+    """s := A^T r;  q := A p (BiCG sub-kernel)."""
+    b = ScopBuilder("bicg")
+    A = b.array("A", (N, M))
+    s = b.array("s", (M,))
+    q = b.array("q", (N,))
+    p = b.array("p", (M,))
+    r = b.array("r", (N,))
+    with b.loop("i", 0, M):
+        b.write(s, b.i)
+    with b.loop("i", 0, N):
+        b.write(q, b.i)
+        with b.loop("j", 0, M):
+            b.read(s, b.j)
+            b.read(r, b.i)
+            b.read(A, b.i, b.j)
+            b.write(s, b.j)
+            b.read(q, b.i)
+            b.read(A, b.i, b.j)
+            b.read(p, b.j)
+            b.write(q, b.i)
+    return b.build()
+
+
+@register("doitgen", "linear-algebra/kernels", ("NQ", "NR", "NP"), {
+    "MINI": (8, 10, 12), "SMALL": (20, 25, 30), "MEDIUM": (40, 50, 60),
+    "LARGE": (140, 150, 160), "EXTRALARGE": (220, 250, 270),
+})
+def doitgen(NQ: int, NR: int, NP: int):
+    """Multi-resolution analysis kernel (MADNESS)."""
+    b = ScopBuilder("doitgen")
+    A = b.array("A", (NR, NQ, NP))
+    C4 = b.array("C4", (NP, NP))
+    summ = b.array("sum", (NP,))
+    with b.loop("r", 0, NR):
+        with b.loop("q", 0, NQ):
+            with b.loop("p", 0, NP):
+                b.write(summ, b.p)
+                with b.loop("s", 0, NP):
+                    b.read(A, b.r, b.q, b.s)
+                    b.read(C4, b.s, b.p)
+                    b.read(summ, b.p)
+                    b.write(summ, b.p)
+            with b.loop("p", 0, NP):
+                b.read(summ, b.p)
+                b.write(A, b.r, b.q, b.p)
+    return b.build()
+
+
+@register("mvt", "linear-algebra/kernels", ("N",), {
+    "MINI": (40,), "SMALL": (120,), "MEDIUM": (400,),
+    "LARGE": (2000,), "EXTRALARGE": (4000,),
+})
+def mvt(N: int):
+    """x1 := x1 + A*y1;  x2 := x2 + A^T*y2."""
+    b = ScopBuilder("mvt")
+    A = b.array("A", (N, N))
+    x1 = b.array("x1", (N,))
+    x2 = b.array("x2", (N,))
+    y1 = b.array("y_1", (N,))
+    y2 = b.array("y_2", (N,))
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, N):
+            b.read(x1, b.i)
+            b.read(A, b.i, b.j)
+            b.read(y1, b.j)
+            b.write(x1, b.i)
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, N):
+            b.read(x2, b.i)
+            b.read(A, b.j, b.i)
+            b.read(y2, b.j)
+            b.write(x2, b.i)
+    return b.build()

@@ -1,0 +1,113 @@
+"""medley kernels: deriche, floyd-warshall, nussinov."""
+
+from __future__ import annotations
+
+from repro.polybench.registry import register
+from repro.polyhedral import ScopBuilder
+
+
+@register("deriche", "medley", ("W", "H"), {
+    "MINI": (64, 64), "SMALL": (192, 128), "MEDIUM": (720, 480),
+    "LARGE": (4096, 2160), "EXTRALARGE": (7680, 4320),
+})
+def deriche(W: int, H: int):
+    """Deriche recursive edge-detection filter.
+
+    The anticausal sweeps run backwards in the C source; they are
+    normalised to forward loops via ``j -> H-1-j`` / ``i -> W-1-i``
+    (scalar filter state lives in registers).
+    """
+    b = ScopBuilder("deriche")
+    imgIn = b.array("imgIn", (W, H))
+    imgOut = b.array("imgOut", (W, H))
+    y1 = b.array("y1", (W, H))
+    y2 = b.array("y2", (W, H))
+    # Horizontal causal pass.
+    with b.loop("i", 0, W):
+        with b.loop("j", 0, H):
+            b.read(imgIn, b.i, b.j)
+            b.write(y1, b.i, b.j)
+    # Horizontal anticausal pass (normalised backward loop).
+    with b.loop("i", 0, W):
+        with b.loop("j", 0, H):
+            b.read(imgIn, b.i, H - 1 - b.j)
+            b.write(y2, b.i, H - 1 - b.j)
+    with b.loop("i", 0, W):
+        with b.loop("j", 0, H):
+            b.read(y1, b.i, b.j)
+            b.read(y2, b.i, b.j)
+            b.write(imgOut, b.i, b.j)
+    # Vertical causal pass.
+    with b.loop("j", 0, H):
+        with b.loop("i", 0, W):
+            b.read(imgOut, b.i, b.j)
+            b.write(y1, b.i, b.j)
+    # Vertical anticausal pass (normalised backward loop).
+    with b.loop("j", 0, H):
+        with b.loop("i", 0, W):
+            b.read(imgOut, W - 1 - b.i, b.j)
+            b.write(y2, W - 1 - b.i, b.j)
+    with b.loop("i", 0, W):
+        with b.loop("j", 0, H):
+            b.read(y1, b.i, b.j)
+            b.read(y2, b.i, b.j)
+            b.write(imgOut, b.i, b.j)
+    return b.build()
+
+
+@register("floyd-warshall", "medley", ("N",), {
+    "MINI": (60,), "SMALL": (180,), "MEDIUM": (500,),
+    "LARGE": (2800,), "EXTRALARGE": (5600,),
+})
+def floyd_warshall(N: int):
+    """All-pairs shortest paths."""
+    b = ScopBuilder("floyd-warshall")
+    path = b.array("path", (N, N))
+    with b.loop("k", 0, N):
+        with b.loop("i", 0, N):
+            with b.loop("j", 0, N):
+                b.read(path, b.i, b.j)
+                b.read(path, b.i, b.k)
+                b.read(path, b.k, b.j)
+                b.write(path, b.i, b.j)
+    return b.build()
+
+
+@register("nussinov", "medley", ("N",), {
+    "MINI": (60,), "SMALL": (180,), "MEDIUM": (500,),
+    "LARGE": (2500,), "EXTRALARGE": (5500,),
+})
+def nussinov(N: int):
+    """Nussinov RNA secondary-structure dynamic program.
+
+    The outer loop runs backwards in the source (``i = N-1 .. 0``);
+    normalised here via ``i -> N-1-i``.  ``seq`` is the base sequence
+    (1-byte elements in the original; modelled with its own array).
+    """
+    b = ScopBuilder("nussinov")
+    table = b.array("table", (N, N))
+    seq = b.array("seq", (N,), element_size=1)
+    with b.loop("i", 0, N):           # source iterator: ii = N-1-i
+        with b.loop("j", N - b.i, N):
+            # if (j-1 >= 0)
+            b.read(table, N - 1 - b.i, b.j)
+            b.read(table, N - 1 - b.i, b.j - 1)
+            b.write(table, N - 1 - b.i, b.j)
+            # if (i+1 < N)  — always true except the last source row;
+            # with ii = N-1-i this is i > 0.
+            b.read(table, N - 1 - b.i, b.j, guard=[b.i - 1])
+            b.read(table, N - b.i, b.j, guard=[b.i - 1])
+            b.write(table, N - 1 - b.i, b.j, guard=[b.i - 1])
+            # if (j-1 >= 0 && i+1 < N): diagonal + base-pair match
+            b.read(table, N - 1 - b.i, b.j, guard=[b.i - 1])
+            b.read(table, N - b.i, b.j - 1, guard=[b.i - 1])
+            b.read(seq, N - 1 - b.i,
+                   guard=[b.i - 1, b.j - (N - b.i) - 1])
+            b.read(seq, b.j, guard=[b.i - 1, b.j - (N - b.i) - 1])
+            b.write(table, N - 1 - b.i, b.j, guard=[b.i - 1])
+            with b.loop("k", N - b.i, b.j):
+                b.read(table, N - 1 - b.i, b.j)
+                b.read(table, N - 1 - b.i, b.k)
+                b.read(table, b.k + 1, b.j)
+                b.write(table, N - 1 - b.i, b.j)
+    return b.build()

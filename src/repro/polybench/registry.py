@@ -1,0 +1,110 @@
+"""Kernel registry and problem-size tables (PolyBench 4.2.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+from repro.polyhedral.model import Scop
+
+SIZE_CLASSES = ("MINI", "SMALL", "MEDIUM", "LARGE", "EXTRALARGE")
+
+SizeSpec = Union[str, Dict[str, int]]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One PolyBench kernel: metadata + SCoP builder."""
+
+    name: str
+    category: str
+    params: Tuple[str, ...]
+    #: per size class, the parameter values in ``params`` order
+    sizes: Dict[str, Tuple[int, ...]]
+    builder: Callable[..., Scop]
+    is_stencil: bool = False
+
+    def size_dict(self, size: SizeSpec) -> Dict[str, int]:
+        """Resolve a size class name or explicit dict to parameters."""
+        if isinstance(size, dict):
+            missing = set(self.params) - set(size)
+            if missing:
+                raise ValueError(
+                    f"{self.name}: missing size params {sorted(missing)}"
+                )
+            return {p: int(size[p]) for p in self.params}
+        try:
+            values = self.sizes[size.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown size class {size!r}; use one of {SIZE_CLASSES} "
+                "or an explicit dict"
+            ) from None
+        return dict(zip(self.params, values))
+
+    def build(self, size: SizeSpec) -> Scop:
+        """Construct the kernel SCoP at the given problem size."""
+        return self.builder(**self.size_dict(size))
+
+
+KERNELS: Dict[str, KernelSpec] = {}
+
+
+def register(name: str, category: str, params: Sequence[str],
+             sizes: Dict[str, Tuple[int, ...]],
+             is_stencil: bool = False):
+    """Decorator registering a kernel builder."""
+
+    def wrap(builder: Callable[..., Scop]) -> Callable[..., Scop]:
+        if name in KERNELS:
+            raise ValueError(f"kernel {name!r} registered twice")
+        KERNELS[name] = KernelSpec(
+            name=name, category=category, params=tuple(params),
+            sizes={k: tuple(v) for k, v in sizes.items()},
+            builder=builder, is_stencil=is_stencil,
+        )
+        return builder
+
+    return wrap
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Kernel spec by name (importing kernel modules on first use)."""
+    _ensure_loaded()
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None
+
+
+def build_kernel(name: str, size: SizeSpec) -> Scop:
+    """Build a kernel SCoP by name at a size class or explicit size."""
+    return get_kernel(name).build(size)
+
+
+def all_kernel_names() -> List[str]:
+    """All registered kernel names, sorted."""
+    _ensure_loaded()
+    return sorted(KERNELS)
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if _loaded:
+        return
+    # Importing the kernel modules runs their @register decorators.
+    from repro.polybench import (  # noqa: F401
+        blas,
+        datamining,
+        kernels,
+        medley,
+        solvers,
+        stencils,
+    )
+
+    _loaded = True

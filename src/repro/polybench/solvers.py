@@ -1,0 +1,197 @@
+"""linear-algebra/solvers: cholesky, durbin, gramschmidt, lu, ludcmp, trisolv."""
+
+from __future__ import annotations
+
+from repro.polybench.registry import register
+from repro.polyhedral import ScopBuilder
+
+
+@register("cholesky", "linear-algebra/solvers", ("N",), {
+    "MINI": (40,), "SMALL": (120,), "MEDIUM": (400,),
+    "LARGE": (2000,), "EXTRALARGE": (4000,),
+})
+def cholesky(N: int):
+    """In-place Cholesky decomposition (lower triangle)."""
+    b = ScopBuilder("cholesky")
+    A = b.array("A", (N, N))
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, b.i):
+            with b.loop("k", 0, b.j):
+                b.read(A, b.i, b.j)
+                b.read(A, b.i, b.k)
+                b.read(A, b.j, b.k)
+                b.write(A, b.i, b.j)
+            b.read(A, b.i, b.j)
+            b.read(A, b.j, b.j)
+            b.write(A, b.i, b.j)
+        with b.loop("k", 0, b.i):
+            b.read(A, b.i, b.i)
+            b.read(A, b.i, b.k)
+            b.read(A, b.i, b.k)
+            b.write(A, b.i, b.i)
+        b.read(A, b.i, b.i)
+        b.write(A, b.i, b.i)
+    return b.build()
+
+
+@register("durbin", "linear-algebra/solvers", ("N",), {
+    "MINI": (40,), "SMALL": (120,), "MEDIUM": (400,),
+    "LARGE": (2000,), "EXTRALARGE": (4000,),
+})
+def durbin(N: int):
+    """Levinson-Durbin recursion (Toeplitz solver).
+
+    Scalar accumulators (alpha, beta, sum) live in registers; the array
+    traffic is on r, y and z.
+    """
+    b = ScopBuilder("durbin")
+    r = b.array("r", (N,))
+    y = b.array("y", (N,))
+    z = b.array("z", (N,))
+    b.read(r, 0)
+    b.write(y, 0)
+    with b.loop("k", 1, N):
+        with b.loop("i", 0, b.k):
+            b.read(r, b.k - b.i - 1)
+            b.read(y, b.i)
+        b.read(r, b.k)
+        with b.loop("i", 0, b.k):
+            b.read(y, b.i)
+            b.read(y, b.k - b.i - 1)
+            b.write(z, b.i)
+        with b.loop("i", 0, b.k):
+            b.read(z, b.i)
+            b.write(y, b.i)
+        b.write(y, b.k)
+    return b.build()
+
+
+@register("gramschmidt", "linear-algebra/solvers", ("M", "N"), {
+    "MINI": (20, 30), "SMALL": (60, 80), "MEDIUM": (200, 240),
+    "LARGE": (1000, 1200), "EXTRALARGE": (2000, 2600),
+})
+def gramschmidt(M: int, N: int):
+    """Modified Gram-Schmidt QR decomposition."""
+    b = ScopBuilder("gramschmidt")
+    A = b.array("A", (M, N))
+    R = b.array("R", (N, N))
+    Q = b.array("Q", (M, N))
+    with b.loop("k", 0, N):
+        with b.loop("i", 0, M):
+            b.read(A, b.i, b.k)
+            b.read(A, b.i, b.k)
+        b.write(R, b.k, b.k)
+        with b.loop("i", 0, M):
+            b.read(A, b.i, b.k)
+            b.read(R, b.k, b.k)
+            b.write(Q, b.i, b.k)
+        with b.loop("j", b.k + 1, N):
+            b.write(R, b.k, b.j)
+            with b.loop("i", 0, M):
+                b.read(Q, b.i, b.k)
+                b.read(A, b.i, b.j)
+                b.read(R, b.k, b.j)
+                b.write(R, b.k, b.j)
+            with b.loop("i", 0, M):
+                b.read(A, b.i, b.j)
+                b.read(Q, b.i, b.k)
+                b.read(R, b.k, b.j)
+                b.write(A, b.i, b.j)
+    return b.build()
+
+
+@register("lu", "linear-algebra/solvers", ("N",), {
+    "MINI": (40,), "SMALL": (120,), "MEDIUM": (400,),
+    "LARGE": (2000,), "EXTRALARGE": (4000,),
+})
+def lu(N: int):
+    """In-place LU decomposition without pivoting."""
+    b = ScopBuilder("lu")
+    A = b.array("A", (N, N))
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, b.i):
+            with b.loop("k", 0, b.j):
+                b.read(A, b.i, b.j)
+                b.read(A, b.i, b.k)
+                b.read(A, b.k, b.j)
+                b.write(A, b.i, b.j)
+            b.read(A, b.i, b.j)
+            b.read(A, b.j, b.j)
+            b.write(A, b.i, b.j)
+        with b.loop("j", b.i, N):
+            with b.loop("k", 0, b.i):
+                b.read(A, b.i, b.j)
+                b.read(A, b.i, b.k)
+                b.read(A, b.k, b.j)
+                b.write(A, b.i, b.j)
+    return b.build()
+
+
+@register("ludcmp", "linear-algebra/solvers", ("N",), {
+    "MINI": (40,), "SMALL": (120,), "MEDIUM": (400,),
+    "LARGE": (2000,), "EXTRALARGE": (4000,),
+})
+def ludcmp(N: int):
+    """LU decomposition + forward/backward substitution.
+
+    The backward substitution loop is normalised to a forward loop via
+    ``i -> N-1-i`` (accesses stay affine).
+    """
+    b = ScopBuilder("ludcmp")
+    A = b.array("A", (N, N))
+    bb = b.array("b", (N,))
+    x = b.array("x", (N,))
+    y = b.array("y", (N,))
+    with b.loop("i", 0, N):
+        with b.loop("j", 0, b.i):
+            b.read(A, b.i, b.j)
+            with b.loop("k", 0, b.j):
+                b.read(A, b.i, b.k)
+                b.read(A, b.k, b.j)
+            b.read(A, b.j, b.j)
+            b.write(A, b.i, b.j)
+        with b.loop("j", b.i, N):
+            b.read(A, b.i, b.j)
+            with b.loop("k", 0, b.i):
+                b.read(A, b.i, b.k)
+                b.read(A, b.k, b.j)
+            b.write(A, b.i, b.j)
+    with b.loop("i", 0, N):
+        b.read(bb, b.i)
+        with b.loop("j", 0, b.i):
+            b.read(A, b.i, b.j)
+            b.read(y, b.j)
+        b.write(y, b.i)
+    # Backward substitution, normalised:  i' = N-1-i.
+    with b.loop("i", 0, N):
+        b.read(y, N - 1 - b.i)
+        with b.loop("j", N - b.i, N):
+            b.read(A, N - 1 - b.i, b.j)
+            b.read(x, b.j)
+        b.read(A, N - 1 - b.i, N - 1 - b.i)
+        b.write(x, N - 1 - b.i)
+    return b.build()
+
+
+@register("trisolv", "linear-algebra/solvers", ("N",), {
+    "MINI": (40,), "SMALL": (120,), "MEDIUM": (400,),
+    "LARGE": (2000,), "EXTRALARGE": (4000,),
+})
+def trisolv(N: int):
+    """Forward substitution with a lower-triangular matrix."""
+    b = ScopBuilder("trisolv")
+    L = b.array("L", (N, N))
+    x = b.array("x", (N,))
+    bb = b.array("b", (N,))
+    with b.loop("i", 0, N):
+        b.read(bb, b.i)
+        b.write(x, b.i)
+        with b.loop("j", 0, b.i):
+            b.read(L, b.i, b.j)
+            b.read(x, b.j)
+            b.read(x, b.i)
+            b.write(x, b.i)
+        b.read(x, b.i)
+        b.read(L, b.i, b.i)
+        b.write(x, b.i)
+    return b.build()

@@ -1,0 +1,212 @@
+"""stencil kernels: adi, fdtd-2d, heat-3d, jacobi-1d, jacobi-2d, seidel-2d."""
+
+from __future__ import annotations
+
+from repro.polybench.registry import register
+from repro.polyhedral import ScopBuilder
+
+
+@register("adi", "stencils", ("TSTEPS", "N"), {
+    "MINI": (20, 20), "SMALL": (40, 60), "MEDIUM": (100, 200),
+    "LARGE": (500, 1000), "EXTRALARGE": (1000, 2000),
+}, is_stencil=True)
+def adi(TSTEPS: int, N: int):
+    """Alternating-direction implicit heat equation solver.
+
+    The back-substitution sweeps run backwards in the C source and are
+    normalised via ``j -> N-2-j`` (covering source range N-2 .. 1).
+    """
+    b = ScopBuilder("adi")
+    u = b.array("u", (N, N))
+    v = b.array("v", (N, N))
+    p = b.array("p", (N, N))
+    q = b.array("q", (N, N))
+    with b.loop("t", 1, TSTEPS + 1):
+        # Column sweep.
+        with b.loop("i", 1, N - 1):
+            b.write(v, 0, b.i)
+            b.write(p, b.i, 0)
+            b.read(v, 0, b.i)
+            b.write(q, b.i, 0)
+            with b.loop("j", 1, N - 1):
+                b.read(p, b.i, b.j - 1)
+                b.write(p, b.i, b.j)
+                b.read(u, b.j, b.i - 1)
+                b.read(u, b.j, b.i)
+                b.read(u, b.j, b.i + 1)
+                b.read(q, b.i, b.j - 1)
+                b.read(p, b.i, b.j - 1)
+                b.write(q, b.i, b.j)
+            b.write(v, N - 1, b.i)
+            # Backward sweep j = N-2 .. 1, normalised: jj = N-2-j.
+            with b.loop("j", 0, N - 2):
+                b.read(p, b.i, N - 2 - b.j)
+                b.read(v, N - 1 - b.j, b.i)
+                b.read(q, b.i, N - 2 - b.j)
+                b.write(v, N - 2 - b.j, b.i)
+        # Row sweep.
+        with b.loop("i", 1, N - 1):
+            b.write(u, b.i, 0)
+            b.write(p, b.i, 0)
+            b.read(u, b.i, 0)
+            b.write(q, b.i, 0)
+            with b.loop("j", 1, N - 1):
+                b.read(p, b.i, b.j - 1)
+                b.write(p, b.i, b.j)
+                b.read(v, b.i - 1, b.j)
+                b.read(v, b.i, b.j)
+                b.read(v, b.i + 1, b.j)
+                b.read(q, b.i, b.j - 1)
+                b.read(p, b.i, b.j - 1)
+                b.write(q, b.i, b.j)
+            b.write(u, b.i, N - 1)
+            with b.loop("j", 0, N - 2):
+                b.read(p, b.i, N - 2 - b.j)
+                b.read(u, b.i, N - 1 - b.j)
+                b.read(q, b.i, N - 2 - b.j)
+                b.write(u, b.i, N - 2 - b.j)
+    return b.build()
+
+
+@register("fdtd-2d", "stencils", ("TMAX", "NX", "NY"), {
+    "MINI": (20, 20, 30), "SMALL": (40, 60, 80),
+    "MEDIUM": (100, 200, 240), "LARGE": (500, 1000, 1200),
+    "EXTRALARGE": (1000, 2000, 2600),
+}, is_stencil=True)
+def fdtd_2d(TMAX: int, NX: int, NY: int):
+    """2-D finite-difference time-domain electromagnetic kernel."""
+    b = ScopBuilder("fdtd-2d")
+    ex = b.array("ex", (NX, NY))
+    ey = b.array("ey", (NX, NY))
+    hz = b.array("hz", (NX, NY))
+    fict = b.array("_fict_", (TMAX,))
+    with b.loop("t", 0, TMAX):
+        with b.loop("j", 0, NY):
+            b.read(fict, b.t)
+            b.write(ey, 0, b.j)
+        with b.loop("i", 1, NX):
+            with b.loop("j", 0, NY):
+                b.read(ey, b.i, b.j)
+                b.read(hz, b.i, b.j)
+                b.read(hz, b.i - 1, b.j)
+                b.write(ey, b.i, b.j)
+        with b.loop("i", 0, NX):
+            with b.loop("j", 1, NY):
+                b.read(ex, b.i, b.j)
+                b.read(hz, b.i, b.j)
+                b.read(hz, b.i, b.j - 1)
+                b.write(ex, b.i, b.j)
+        with b.loop("i", 0, NX - 1):
+            with b.loop("j", 0, NY - 1):
+                b.read(hz, b.i, b.j)
+                b.read(ex, b.i, b.j + 1)
+                b.read(ex, b.i, b.j)
+                b.read(ey, b.i + 1, b.j)
+                b.read(ey, b.i, b.j)
+                b.write(hz, b.i, b.j)
+    return b.build()
+
+
+@register("heat-3d", "stencils", ("TSTEPS", "N"), {
+    "MINI": (20, 10), "SMALL": (40, 20), "MEDIUM": (100, 40),
+    "LARGE": (500, 120), "EXTRALARGE": (1000, 200),
+}, is_stencil=True)
+def heat_3d(TSTEPS: int, N: int):
+    """3-D heat equation, Jacobi-style double buffering."""
+    b = ScopBuilder("heat-3d")
+    A = b.array("A", (N, N, N))
+    B = b.array("B", (N, N, N))
+
+    def sweep(src, dst):
+        with b.loop("i", 1, N - 1):
+            with b.loop("j", 1, N - 1):
+                with b.loop("k", 1, N - 1):
+                    b.read(src, b.i + 1, b.j, b.k)
+                    b.read(src, b.i, b.j, b.k)
+                    b.read(src, b.i - 1, b.j, b.k)
+                    b.read(src, b.i, b.j + 1, b.k)
+                    b.read(src, b.i, b.j, b.k)
+                    b.read(src, b.i, b.j - 1, b.k)
+                    b.read(src, b.i, b.j, b.k + 1)
+                    b.read(src, b.i, b.j, b.k)
+                    b.read(src, b.i, b.j, b.k - 1)
+                    b.read(src, b.i, b.j, b.k)
+                    b.write(dst, b.i, b.j, b.k)
+
+    with b.loop("t", 1, TSTEPS + 1):
+        sweep(A, B)
+        sweep(B, A)
+    return b.build()
+
+
+@register("jacobi-1d", "stencils", ("TSTEPS", "N"), {
+    "MINI": (20, 30), "SMALL": (40, 120), "MEDIUM": (100, 400),
+    "LARGE": (500, 2000), "EXTRALARGE": (1000, 4000),
+}, is_stencil=True)
+def jacobi_1d(TSTEPS: int, N: int):
+    """1-D Jacobi three-point stencil, double buffered."""
+    b = ScopBuilder("jacobi-1d")
+    A = b.array("A", (N,))
+    B = b.array("B", (N,))
+    with b.loop("t", 0, TSTEPS):
+        with b.loop("i", 1, N - 1):
+            b.read(A, b.i - 1)
+            b.read(A, b.i)
+            b.read(A, b.i + 1)
+            b.write(B, b.i)
+        with b.loop("i", 1, N - 1):
+            b.read(B, b.i - 1)
+            b.read(B, b.i)
+            b.read(B, b.i + 1)
+            b.write(A, b.i)
+    return b.build()
+
+
+@register("jacobi-2d", "stencils", ("TSTEPS", "N"), {
+    "MINI": (20, 30), "SMALL": (40, 90), "MEDIUM": (100, 250),
+    "LARGE": (500, 1300), "EXTRALARGE": (1000, 2800),
+}, is_stencil=True)
+def jacobi_2d(TSTEPS: int, N: int):
+    """2-D Jacobi five-point stencil, double buffered."""
+    b = ScopBuilder("jacobi-2d")
+    A = b.array("A", (N, N))
+    B = b.array("B", (N, N))
+
+    def sweep(src, dst):
+        with b.loop("i", 1, N - 1):
+            with b.loop("j", 1, N - 1):
+                b.read(src, b.i, b.j)
+                b.read(src, b.i, b.j - 1)
+                b.read(src, b.i, b.j + 1)
+                b.read(src, b.i + 1, b.j)
+                b.read(src, b.i - 1, b.j)
+                b.write(dst, b.i, b.j)
+
+    with b.loop("t", 0, TSTEPS):
+        sweep(A, B)
+        sweep(B, A)
+    return b.build()
+
+
+@register("seidel-2d", "stencils", ("TSTEPS", "N"), {
+    "MINI": (20, 40), "SMALL": (40, 120), "MEDIUM": (100, 400),
+    "LARGE": (500, 2000), "EXTRALARGE": (1000, 4000),
+}, is_stencil=True)
+def seidel_2d(TSTEPS: int, N: int):
+    """2-D Gauss-Seidel nine-point stencil (in place)."""
+    b = ScopBuilder("seidel-2d")
+    A = b.array("A", (N, N))
+    with b.loop("t", 0, TSTEPS):
+        with b.loop("i", 1, N - 1):
+            with b.loop("j", 1, N - 1):
+                b.read(A, b.i - 1, b.j - 1)
+                b.read(A, b.i - 1, b.j)
+                b.read(A, b.i - 1, b.j + 1)
+                b.read(A, b.i, b.j - 1)
+                b.read(A, b.i, b.j)
+                b.read(A, b.i, b.j + 1)
+                b.read(A, b.i + 1, b.j - 1)
+                b.read(A, b.i + 1, b.j)
+                b.read(A, b.i + 1, b.j + 1)
+                b.write(A, b.i, b.j)
+    return b.build()

@@ -1,0 +1,20 @@
+"""Polyhedral program representation (paper Section 3).
+
+SCoPs are represented as trees of :class:`LoopNode` and
+:class:`AccessNode` (Section 3.2), with iteration domains as
+:class:`repro.isl.BasicSet` and affine access functions mapping iteration
+vectors to byte addresses / memory blocks.
+"""
+
+from repro.polyhedral.arrays import Array, MemoryLayout
+from repro.polyhedral.model import AccessNode, LoopNode, Scop
+from repro.polyhedral.builder import ScopBuilder
+
+__all__ = [
+    "Array",
+    "MemoryLayout",
+    "AccessNode",
+    "LoopNode",
+    "Scop",
+    "ScopBuilder",
+]

@@ -1,0 +1,14 @@
+"""Cache simulation of polyhedral programs.
+
+* :mod:`repro.simulation.nonwarping` — Algorithm 1: concrete tree-walk
+  simulation.
+* :mod:`repro.simulation.symbolic` — symbolic cache states (Section 5.2).
+* :mod:`repro.simulation.warping` — Algorithm 2: warping symbolic cache
+  simulation (Sections 5.1-5.3).
+"""
+
+from repro.simulation.result import SimulationResult
+from repro.simulation.nonwarping import simulate as simulate_nonwarping
+from repro.simulation.warping import simulate_warping
+
+__all__ = ["SimulationResult", "simulate_nonwarping", "simulate_warping"]

@@ -1,0 +1,72 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a cache simulation run.
+
+    Attributes:
+        scop_name: the simulated SCoP.
+        accesses: total dynamic memory accesses accounted for.
+        l1_misses / l1_hits: L1 classification counts.
+        l2_misses / l2_hits: L2 counts (0/None-like when single level).
+        warped_accesses: accesses accounted for analytically by warping.
+        simulated_accesses: accesses simulated explicitly.
+        warp_count: number of successful warp applications.
+        warp_attempts: number of matches that triggered a warp check.
+        wall_time: seconds spent inside the simulation proper (excludes
+            SCoP construction, mirroring the paper's Fig. 6 methodology).
+        extra: free-form per-experiment annotations.
+    """
+
+    scop_name: str
+    accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    warped_accesses: int = 0
+    simulated_accesses: int = 0
+    warp_count: int = 0
+    warp_attempts: int = 0
+    wall_time: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def misses(self) -> int:
+        """L1 misses (the default figure of merit)."""
+        return self.l1_misses
+
+    @property
+    def non_warped_share(self) -> float:
+        """Fraction of accesses that had to be simulated explicitly."""
+        if self.accesses == 0:
+            return 0.0
+        return self.simulated_accesses / self.accesses
+
+    def merge_counts_match(self, other: "SimulationResult") -> bool:
+        """True if hit/miss counts agree (used by equivalence tests)."""
+        return (self.accesses == other.accesses
+                and self.l1_misses == other.l1_misses
+                and self.l2_misses == other.l2_misses)
+
+    def __str__(self) -> str:
+        parts = [
+            f"{self.scop_name}: {self.accesses} accesses",
+            f"L1 {self.l1_misses} misses",
+        ]
+        if self.l2_hits or self.l2_misses:
+            parts.append(f"L2 {self.l2_misses} misses")
+        if self.warp_count:
+            parts.append(
+                f"warped {self.warped_accesses} accesses "
+                f"in {self.warp_count} warps "
+                f"({100 * (1 - self.non_warped_share):.2f}%)"
+            )
+        parts.append(f"{self.wall_time * 1000:.1f} ms")
+        return ", ".join(parts)

@@ -1,0 +1,63 @@
+"""Tests for metrics and report formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    absolute_error,
+    format_table,
+    geometric_mean,
+    relative_error,
+    speedup,
+)
+
+
+def test_speedup():
+    assert speedup(10.0, 2.0) == 5.0
+    assert speedup(1.0, 4.0) == 0.25
+    assert speedup(1.0, 0.0) == math.inf
+
+
+def test_absolute_error():
+    assert absolute_error(10, 12) == 2
+    assert absolute_error(12, 10) == 2
+    assert absolute_error(5, 5) == 0
+
+
+def test_relative_error():
+    assert relative_error(110, 100) == pytest.approx(0.1)
+    assert relative_error(90, 100) == pytest.approx(0.1)
+    assert relative_error(0, 0) == 0.0
+    assert relative_error(5, 0) == math.inf
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([0, 4]) == pytest.approx(4.0)  # zeros dropped
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["kernel", "misses", "speedup"],
+        [["gemm", 1234, 1.5], ["adi", 7, 300.25]],
+        title="demo",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "kernel" in lines[1]
+    assert len(lines) == 5
+    # numeric cells right-aligned under their headers
+    assert lines[3].startswith("gemm")
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_scientific_for_extremes():
+    table = format_table(["v"], [[123456.789]])
+    assert "e+" in table or "E+" in table.lower()

@@ -1,0 +1,160 @@
+"""Tests for the baseline models (Dinero-, HayStack-, PolyCache-style,
+hardware oracle)."""
+
+import pytest
+
+from repro.baselines import (
+    haystack_misses,
+    measure_hardware,
+    polycache_misses,
+    simulate_dinero,
+)
+from repro.baselines.haystack import lru_stack_misses
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.polybench import build_kernel
+from repro.polyhedral import ScopBuilder
+from repro.simulation import simulate_nonwarping
+
+
+def scan_scop(n=64, repeats=3):
+    b = ScopBuilder("scan")
+    A = b.array("A", (n,))
+    with b.loop("r", 0, repeats):
+        with b.loop("i", 0, n):
+            b.read(A, b.i)
+    return b.build()
+
+
+# -- stack-distance engine -----------------------------------------------------------
+
+
+def test_stack_misses_empty_and_cold():
+    assert lru_stack_misses([], 4) == (0, 0)
+    assert lru_stack_misses([1, 2, 3], 4) == (3, 3)
+
+
+def test_stack_misses_hits_within_capacity():
+    misses, accesses = lru_stack_misses([1, 2, 1, 2, 1], 2)
+    assert (misses, accesses) == (2, 5)
+
+
+def test_stack_misses_cyclic_thrash():
+    # LRU with capacity 2 on a cycle of 3 blocks: never hits.
+    misses, _ = lru_stack_misses([1, 2, 3] * 4, 2)
+    assert misses == 12
+
+
+def test_stack_misses_equals_lru_simulation():
+    """The stack-distance model is exactly fully-associative LRU."""
+    import random
+
+    rng = random.Random(7)
+    trace = [rng.randrange(0, 24) for _ in range(400)]
+    for assoc in (1, 2, 4, 8, 16):
+        cache = Cache(CacheConfig.fully_associative(assoc * 16, 16, "lru"))
+        for block in trace:
+            cache.access(block)
+        misses, _ = lru_stack_misses(trace, assoc)
+        assert misses == cache.misses, assoc
+
+
+# -- HayStack-style model --------------------------------------------------------------
+
+
+def test_haystack_matches_fa_lru_simulation():
+    scop = build_kernel("mvt", {"N": 32})
+    cfg = CacheConfig(1024, 4, 32, "plru")  # policy/assoc ignored by model
+    model = haystack_misses(scop, cfg)
+    fa = CacheConfig.fully_associative(1024, 32, "lru")
+    ref = simulate_nonwarping(scop, Cache(fa))
+    assert model.l1_misses == ref.l1_misses
+    assert model.accesses == ref.accesses
+
+
+def test_haystack_ignores_associativity():
+    """Same capacity, different associativity: model result unchanged
+    (that is exactly its modelling error on set-associative caches)."""
+    scop = scan_scop()
+    a = haystack_misses(scop, CacheConfig(512, 2, 16))
+    b = haystack_misses(scop, CacheConfig(512, 8, 16))
+    assert a.l1_misses == b.l1_misses
+
+
+# -- PolyCache-style model ---------------------------------------------------------------
+
+
+def test_polycache_matches_set_associative_lru():
+    scop = build_kernel("bicg", {"M": 24, "N": 28})
+    cfg = CacheConfig(512, 2, 16, "lru")
+    model = polycache_misses(scop, cfg)
+    ref = simulate_nonwarping(scop, Cache(cfg))
+    assert model.l1_misses == ref.l1_misses
+
+
+def test_polycache_two_levels_match_hierarchy():
+    scop = build_kernel("gemm", {"NI": 12, "NJ": 14, "NK": 10})
+    config = HierarchyConfig(CacheConfig(256, 2, 16, "lru"),
+                             CacheConfig(1024, 4, 16, "lru"))
+    model = polycache_misses(scop, config)
+    ref = simulate_nonwarping(scop, CacheHierarchy(config))
+    assert model.l1_misses == ref.l1_misses
+    assert model.l2_misses == ref.l2_misses
+
+
+def test_polycache_rejects_non_lru():
+    scop = scan_scop()
+    with pytest.raises(ValueError):
+        polycache_misses(scop, CacheConfig(512, 2, 16, "plru"))
+
+
+# -- Dinero-style baseline -----------------------------------------------------------------
+
+
+def test_dinero_counts_match_tree_simulation():
+    scop = build_kernel("atax", {"M": 20, "N": 24})
+    cfg = CacheConfig(512, 2, 16, "lru")
+    dinero = simulate_dinero(scop, cfg)
+    ref = simulate_nonwarping(scop, Cache(cfg))
+    assert dinero.l1_misses == ref.l1_misses
+    assert dinero.accesses == ref.accesses
+
+
+def test_dinero_hierarchy_and_extra_trace():
+    scop = scan_scop(n=32, repeats=1)
+    config = HierarchyConfig(CacheConfig(256, 2, 16, "lru"),
+                             CacheConfig(1024, 4, 16, "lru"))
+    plain = simulate_dinero(scop, config)
+    noisy = simulate_dinero(scop, config,
+                            extra_trace=[(10_000, False)] * 4)
+    assert noisy.accesses == plain.accesses + 4
+    assert noisy.l1_misses >= plain.l1_misses
+
+
+# -- hardware oracle ---------------------------------------------------------------------------
+
+
+def test_hardware_oracle_deterministic():
+    scop = build_kernel("mvt", {"N": 24})
+    cfg = CacheConfig(512, 4, 16, "plru")
+    a = measure_hardware(scop, cfg)
+    b = measure_hardware(scop, cfg)
+    assert a.l1_misses == b.l1_misses
+    assert a.extra["noise_factor"] == b.extra["noise_factor"]
+
+
+def test_hardware_oracle_biased_upwards_and_bounded():
+    scop = build_kernel("mvt", {"N": 24})
+    cfg = CacheConfig(512, 4, 16, "plru")
+    measured = measure_hardware(scop, cfg, noise=0.06)
+    true = measured.extra["true_l1_misses"]
+    assert measured.l1_misses >= true
+    assert measured.l1_misses <= true * 1.07 + scop.footprint_bytes() / 4096
+
+
+def test_hardware_oracle_varies_with_kernel():
+    cfg = CacheConfig(512, 4, 16, "plru")
+    a = measure_hardware(build_kernel("mvt", {"N": 24}), cfg)
+    b = measure_hardware(build_kernel("atax", {"M": 20, "N": 24}), cfg)
+    assert a.extra["noise_factor"] != b.extra["noise_factor"]

@@ -1,0 +1,140 @@
+"""Tests for set-associative caches and Theorem 1 (data independence)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig, WritePolicy
+
+
+def small_cache(policy="lru", sets=8, assoc=2, block=16):
+    return Cache(CacheConfig(sets * assoc * block, assoc, block, policy))
+
+
+def test_config_geometry():
+    cfg = CacheConfig(32 * 1024, 8, 64, "plru")
+    assert cfg.num_sets == 64
+    assert cfg.index_of(65) == 1
+    assert cfg.index_of(64 * 3) == 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(1000, 8, 64)
+
+
+def test_fully_associative_helper():
+    cfg = CacheConfig.fully_associative(1024, 64)
+    assert cfg.num_sets == 1
+    assert cfg.assoc == 16
+
+
+def test_basic_hit_miss_counting():
+    cache = small_cache()
+    assert cache.access(0) is False
+    assert cache.access(0) is True
+    assert cache.misses == 1 and cache.hits == 1
+    assert cache.accesses == 2
+
+
+def test_blocks_map_to_distinct_sets():
+    cache = small_cache(sets=8, assoc=1)
+    for block in range(8):
+        cache.access(block)
+    # All mapped to different sets: still resident.
+    for block in range(8):
+        assert cache.contains(block)
+
+
+def test_conflict_misses_in_one_set():
+    cache = small_cache(sets=8, assoc=2)
+    # Blocks 0, 8, 16 all map to set 0 (assoc 2 -> 3rd conflicts).
+    cache.access(0)
+    cache.access(8)
+    cache.access(16)
+    assert not cache.contains(0)
+    assert cache.contains(8) and cache.contains(16)
+
+
+def test_no_write_allocate():
+    cfg = CacheConfig(256, 2, 16, "lru",
+                      write_policy=WritePolicy.NO_WRITE_ALLOCATE)
+    cache = Cache(cfg)
+    cache.access(0, is_write=True)
+    assert cache.misses == 1
+    assert not cache.contains(0)  # miss did not allocate
+    cache.access(0, is_write=False)
+    assert cache.misses == 2
+    assert cache.contains(0)  # read miss allocates
+    cache.access(0, is_write=True)
+    assert cache.hits == 1  # write hit proceeds normally
+
+
+def test_reset():
+    cache = small_cache()
+    cache.access(1)
+    cache.reset()
+    assert cache.accesses == 0
+    assert not cache.contains(1)
+
+
+def test_clone_independent():
+    cache = small_cache()
+    cache.access(1)
+    copy = cache.clone()
+    copy.access(2)
+    assert not cache.contains(2)
+    assert cache.state_key() != copy.state_key()
+
+
+def test_state_key_captures_contents_and_policy():
+    a, b = small_cache(), small_cache()
+    for blk in (1, 2, 1):
+        a.access(blk)
+        b.access(blk)
+    assert a.state_key() == b.state_key()
+    b.access(3)
+    assert a.state_key() != b.state_key()
+
+
+@pytest.mark.parametrize("policy", ["lru", "fifo", "plru", "qlru", "nmru"])
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 10_000), shift=st.integers(-64, 64))
+def test_theorem1_bijection_commutes(policy, seed, shift):
+    """pi(UpCache(c, b)) == UpCache(pi(c), pi(b)) for block shifts.
+
+    Shifting all blocks by a constant preserves the partition into sets
+    (modulo placement), so it lies in Pi_index= and Theorem 1 applies.
+    """
+    rng = random.Random(seed)
+    trace = [rng.randrange(0, 64) for _ in range(120)]
+    a = small_cache(policy)
+    for block in trace:
+        a.access(block)
+    mapped = a.apply_bijection(lambda b: b + shift)
+
+    b_cache = small_cache(policy)
+    hits_shifted = []
+    for block in trace:
+        hits_shifted.append(b_cache.access(block + shift))
+    hits_plain = []
+    check = small_cache(policy)
+    for block in trace:
+        hits_plain.append(check.access(block))
+
+    # Classification invariance (Eq. 7) and state correspondence (Eq. 6).
+    assert hits_plain == hits_shifted
+    assert mapped.state_key() == b_cache.state_key()
+
+
+def test_bijection_must_preserve_partition():
+    cache = small_cache(sets=8, assoc=2)
+    cache.access(0)
+    cache.access(1)
+    # Mapping 0->0 and 1->9 moves set-0/set-1 blocks inconsistently?
+    # 0 -> 0 (set 0), 1 -> 9 (set 1): fine. But 0->0, 8->9 breaks set 0.
+    cache.access(8)
+    with pytest.raises(ValueError):
+        cache.apply_bijection(lambda b: 9 if b == 8 else b)

@@ -1,0 +1,188 @@
+"""Unit and property tests for the replacement policies.
+
+The property tests verify the data-independence contract (paper
+Property 1): policies never observe block identities, so we check the
+behavioural consequence — per-policy hit/miss sequences are invariant
+under renaming the blocks of the access trace.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache, CacheSetState
+from repro.cache.config import CacheConfig
+from repro.cache.policies import FIFO, LRU, PLRU, QLRU, POLICIES, policy_by_name
+
+
+def run_trace(policy_name, assoc, trace):
+    """Simulate a fully-associative set; returns the hit/miss string."""
+    policy = policy_by_name(policy_name)
+    state = CacheSetState(assoc, policy)
+    outcome = []
+    for block in trace:
+        hit, _ = state.access(policy, block)
+        outcome.append("H" if hit else "M")
+    return "".join(outcome)
+
+
+def test_policy_registry():
+    assert set(POLICIES) == {"lru", "fifo", "plru", "qlru", "nmru"}
+    assert policy_by_name("LRU").name == "lru"
+    with pytest.raises(ValueError):
+        policy_by_name("random")
+
+
+# -- NMRU ------------------------------------------------------------------------
+
+
+def test_nmru_protects_only_mru():
+    # assoc 2: NMRU == LRU (protecting MRU = evicting LRU).
+    trace = [1, 2, 1, 3, 1, 2, 2, 3]
+    assert run_trace("nmru", 2, trace) == run_trace("lru", 2, trace)
+
+
+def test_nmru_victim_is_lowest_non_mru():
+    from repro.cache.policies import NMRU
+
+    policy = NMRU()
+    state = policy.initial_state(4)
+    state = policy.on_hit(state, 4, 2)  # MRU = line 2
+    victim, state = policy.on_miss(state, 4, [True] * 4)
+    assert victim == 0
+    victim, state = policy.on_miss(state, 4, [True] * 4)
+    # After filling line 0, it became MRU; next victim is line 1.
+    assert victim == 1
+
+
+def test_nmru_requires_two_ways():
+    from repro.cache.policies import NMRU
+
+    with pytest.raises(ValueError):
+        NMRU().initial_state(1)
+
+
+def test_nmru_differs_from_lru_at_higher_assoc():
+    trace = [1, 2, 3, 4, 1, 5, 2, 6, 3, 7, 1, 2, 3]
+    assert run_trace("nmru", 4, trace) != run_trace("lru", 4, trace)
+
+
+# -- LRU ------------------------------------------------------------------------
+
+
+def test_lru_evicts_least_recently_used():
+    # assoc 2: access 1,2 then touch 1, then 3 evicts 2.
+    assert run_trace("lru", 2, [1, 2, 1, 3, 1, 2]) == "MMHMHM"
+
+
+def test_lru_repeat_hits():
+    assert run_trace("lru", 4, [1, 2, 3, 4, 1, 2, 3, 4]) == "MMMMHHHH"
+
+
+def test_lru_capacity_thrash():
+    # Cyclic access to assoc+1 blocks under LRU never hits.
+    assert run_trace("lru", 2, [1, 2, 3] * 3) == "M" * 9
+
+
+# -- FIFO ------------------------------------------------------------------------
+
+
+def test_fifo_hits_do_not_refresh():
+    # assoc 2: 1,2 fill; hit on 1 does NOT protect it; 3 evicts 1.
+    assert run_trace("fifo", 2, [1, 2, 1, 3, 1]) == "MMHMM"
+
+
+def test_fifo_differs_from_lru():
+    trace = [1, 2, 1, 3, 1]
+    assert run_trace("fifo", 2, trace) != run_trace("lru", 2, trace)
+
+
+# -- PLRU ------------------------------------------------------------------------
+
+
+def test_plru_requires_power_of_two():
+    with pytest.raises(ValueError):
+        PLRU().initial_state(3)
+
+
+def test_plru_assoc2_equals_lru():
+    # With two ways tree-PLRU is exactly LRU.
+    trace = [1, 2, 1, 3, 2, 1, 3, 3, 2]
+    assert run_trace("plru", 2, trace) == run_trace("lru", 2, trace)
+
+
+def test_plru_fills_empty_lines_first():
+    assert run_trace("plru", 4, [1, 2, 3, 4]) == "MMMM"
+    assert run_trace("plru", 4, [1, 2, 3, 4, 1, 2, 3, 4]) == "MMMMHHHH"
+
+
+def test_plru_known_deviation_from_lru():
+    # Classic PLRU anomaly: after 1,2,3,4 touch 1 then 3; victim under
+    # LRU is 2, under PLRU the tree bits give a different victim for some
+    # access patterns. Verify PLRU still behaves like a 4-way cache.
+    out = run_trace("plru", 4, [1, 2, 3, 4, 1, 3, 5, 1, 3])
+    assert out.startswith("MMMMHH" ) and out[6] == "M"
+    assert out[8] == "H"  # 3 was touched recently, must survive
+
+
+# -- QLRU ------------------------------------------------------------------------
+
+
+def test_qlru_basic_fill_and_hit():
+    assert run_trace("qlru", 4, [1, 2, 3, 4, 1, 2, 3, 4]) == "MMMMHHHH"
+
+
+def test_qlru_scan_resistance():
+    """A hot block that is re-referenced survives a one-shot scan that
+    would evict it under LRU."""
+    assoc = 4
+    hot = [1, 2, 3, 4]
+    warm = hot * 3
+    scan = [10, 11, 12, 13]
+    qlru = run_trace("qlru", assoc, warm + scan + hot)
+    lru = run_trace("lru", assoc, warm + scan + hot)
+    qlru_tail_hits = qlru[-4:].count("H")
+    lru_tail_hits = lru[-4:].count("H")
+    assert qlru_tail_hits >= lru_tail_hits
+
+
+def test_qlru_ages_reset_on_hit():
+    policy = QLRU()
+    state = policy.initial_state(2)
+    state = policy.on_hit(state, 2, 0)
+    assert state[0] == 0
+
+
+# -- shared behaviours ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_empty_lines_filled_before_eviction(policy_name):
+    out = run_trace(policy_name, 4, [1, 2, 3, 4])
+    assert out == "MMMM"
+    # All four must now be resident.
+    out2 = run_trace(policy_name, 4, [1, 2, 3, 4, 4, 3, 2, 1])
+    assert out2[4:] == "HHHH"
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@settings(deadline=None, max_examples=50)
+@given(trace=st.lists(st.integers(0, 9), max_size=40), data=st.data())
+def test_data_independence_property(policy_name, trace, data):
+    """Property 1: renaming blocks does not change hits/misses."""
+    shift = data.draw(st.integers(1, 100))
+    renamed = [b + shift for b in trace]
+    assert (run_trace(policy_name, 4, trace)
+            == run_trace(policy_name, 4, renamed))
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@settings(deadline=None, max_examples=30)
+@given(trace=st.lists(st.integers(0, 5), max_size=30))
+def test_policy_state_is_hashable_and_stable(policy_name, trace):
+    """Policy states must be hashable (symbolic snapshot keys need it)."""
+    policy = policy_by_name(policy_name)
+    state = CacheSetState(4, policy)
+    for block in trace:
+        state.access(policy, block)
+        hash(state.policy_state)
+        hash(state.contents_key())

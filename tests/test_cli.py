@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+STENCIL_C = """
+double A[200]; double B[200];
+for (int i = 1; i < 199; i++)
+  B[i-1] = A[i-1] + A[i];
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "stencil.c"
+    path.write_text(STENCIL_C)
+    return str(path)
+
+
+def run(capsys, argv):
+    code = main(argv)
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_list_kernels(capsys):
+    out = run(capsys, ["list-kernels"])
+    assert "gemm" in out and "jacobi-2d" in out
+    assert out.count("\n") == 30
+
+
+def test_list_kernels_json(capsys):
+    payload = json.loads(run(capsys, ["list-kernels", "--json"]))
+    assert len(payload) == 30
+    assert payload["gemm"]["params"] == ["NI", "NJ", "NK"]
+
+
+def test_simulate_kernel_json(capsys):
+    out = run(capsys, [
+        "simulate", "--kernel", "mvt", "--size", '{"N": 24}',
+        "--l1-size", "1024", "--l1-assoc", "4", "--block-size", "16",
+        "--l1-policy", "lru", "--json",
+    ])
+    payload = json.loads(out)
+    assert payload["accesses"] == 2 * 24 * 24 * 4
+    assert payload["l1_misses"] > 0
+    assert payload["l1_hits"] + payload["l1_misses"] == payload["accesses"]
+
+
+def test_simulate_source_file(capsys, source_file):
+    out = run(capsys, [
+        "simulate", "--source", source_file,
+        "--l1-size", "512", "--l1-assoc", "4", "--block-size", "16",
+        "--l1-policy", "lru", "--json",
+    ])
+    payload = json.loads(out)
+    assert payload["program"] == "stencil"
+    assert payload["accesses"] == 198 * 3
+
+
+def test_engines_agree(capsys, source_file):
+    results = {}
+    for engine in ("warping", "tree", "dinero"):
+        out = run(capsys, [
+            "simulate", "--source", source_file, "--engine", engine,
+            "--l1-size", "512", "--l1-assoc", "4", "--block-size", "16",
+            "--l1-policy", "lru", "--json",
+        ])
+        results[engine] = json.loads(out)["l1_misses"]
+    assert len(set(results.values())) == 1
+
+
+def test_simulate_two_levels(capsys):
+    out = run(capsys, [
+        "simulate", "--kernel", "gemm", "--size",
+        '{"NI": 10, "NJ": 12, "NK": 14}',
+        "--l1-size", "512", "--l1-assoc", "2",
+        "--l2-size", "2048", "--l2-assoc", "4",
+        "--l2-policy", "lru", "--block-size", "16",
+        "--l1-policy", "lru", "--json",
+    ])
+    payload = json.loads(out)
+    assert "l2_misses" in payload
+    assert payload["l2_misses"] <= payload["l1_misses"]
+
+
+def test_compare_lru_includes_polycache(capsys, source_file):
+    out = run(capsys, [
+        "compare", "--source", source_file,
+        "--l1-size", "512", "--l1-assoc", "4", "--block-size", "16",
+        "--l1-policy", "lru", "--json",
+    ])
+    payload = json.loads(out)
+    misses = {name: entry["l1_misses"] for name, entry in payload.items()
+              if name in ("warping", "tree", "dinero", "polycache")}
+    assert len(set(misses.values())) == 1
+
+
+def test_compare_non_lru_skips_polycache(capsys, source_file):
+    out = run(capsys, [
+        "compare", "--source", source_file,
+        "--l1-size", "512", "--l1-assoc", "4", "--block-size", "16",
+        "--l1-policy", "plru", "--json",
+    ])
+    payload = json.loads(out)
+    assert "polycache" not in payload
+
+
+def test_program_args_mutually_exclusive():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["simulate", "--kernel", "gemm",
+                           "--source", "x.c"])
+
+
+def test_no_warping_flag(capsys, source_file):
+    out = run(capsys, [
+        "simulate", "--source", source_file, "--no-warping",
+        "--l1-size", "512", "--l1-assoc", "4", "--block-size", "16",
+        "--json",
+    ])
+    payload = json.loads(out)
+    assert "warps" not in payload

@@ -1,0 +1,178 @@
+"""Tests for the mini-C frontend (lexer, parser, lowering)."""
+
+import pytest
+
+from repro.frontend import ParseError, parse_scop, tokenize
+from repro.frontend.lexer import LexError, TokenKind
+from repro.frontend.lowering import NonAffineError
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.simulation import simulate_nonwarping, simulate_warping
+
+
+# -- lexer -------------------------------------------------------------------------
+
+
+def test_tokenize_basics():
+    tokens = tokenize("for (int i = 0; i < 10; i++) A[i] = 0.5;")
+    kinds = [t.kind for t in tokens]
+    assert kinds[-1] is TokenKind.EOF
+    texts = [t.text for t in tokens[:-1]]
+    assert "for" in texts and "A" in texts and "++" in texts
+
+
+def test_tokenize_comments_and_floats():
+    tokens = tokenize("x = 1.5e-3; // comment\n/* multi\nline */ y = .5;")
+    texts = [t.text for t in tokens if t.kind is not TokenKind.EOF]
+    assert "1.5e-3" in texts
+    assert ".5" in texts
+    assert all("comment" not in t for t in texts)
+
+
+def test_tokenize_line_numbers():
+    tokens = tokenize("a\nbb\n  c")
+    c = [t for t in tokens if t.text == "c"][0]
+    assert c.line == 3 and c.column == 3
+
+
+def test_lex_error():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+# -- parser errors ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source,fragment", [
+    ("for (int i = 0; j < 10; i++) ;", "iterator"),
+    ("double A[10]; for (int i = 0; i > 10; i++) A[i] = 0;", "'<'"),
+    ("double A[10]; for (int i = 0; i < 10; i--) A[i] = 0;", "increment"),
+    ("double A[n]; A[0] = 1;", "integer literals"),
+    ("double A[10]; A[0] +; ", "assignment operator"),
+])
+def test_parse_errors(source, fragment):
+    with pytest.raises(ParseError) as err:
+        parse_scop(source)
+    assert fragment in str(err.value)
+
+
+def test_nonaffine_subscript_rejected():
+    with pytest.raises(NonAffineError):
+        parse_scop("""
+            double A[10][10];
+            for (int i = 0; i < 10; i++)
+              for (int j = 0; j < 10; j++)
+                A[i*j][0] = 1.0;
+        """)
+
+
+def test_nonconvex_guard_rejected():
+    with pytest.raises(ParseError):
+        parse_scop("""
+            double A[10];
+            for (int i = 0; i < 10; i++)
+              if (i != 5) A[i] = 0.0;
+        """)
+
+
+# -- lowering ------------------------------------------------------------------------------
+
+
+def test_running_example_accesses():
+    scop = parse_scop("""
+        double A[1000]; double B[1000];
+        for (int i = 1; i < 999; i++)
+          B[i-1] = A[i-1] + A[i];
+    """, name="stencil")
+    assert scop.count_accesses() == 998 * 3
+
+
+def test_compound_assignment_reads_target():
+    scop = parse_scop("""
+        double x[10]; double y[10];
+        for (int i = 0; i < 10; i++)
+          x[i] += y[i];
+    """)
+    # y read, x read (compound), x write
+    assert scop.count_accesses() == 30
+    nodes = list(scop.access_nodes())
+    assert [n.is_write for n in nodes] == [False, False, True]
+    assert nodes[0].array.name == "y"
+
+
+def test_scalars_are_register_resident():
+    scop = parse_scop("""
+        double A[10]; double s;
+        for (int i = 0; i < 10; i++)
+          s += A[i];
+    """)
+    assert scop.count_accesses() == 10  # only the A[i] reads
+
+
+def test_le_bound_and_stride():
+    scop = parse_scop("""
+        double A[30];
+        for (int i = 0; i <= 20; i += 2)
+          A[i] = 0.0;
+    """)
+    assert scop.count_accesses() == 11
+
+
+def test_if_else_guards():
+    scop = parse_scop("""
+        double t[20][20];
+        for (int i = 0; i < 20; i++)
+          for (int j = 0; j < 20; j++)
+            if (j < i)
+              t[i][j] = t[j][i];
+            else
+              t[i][j] = 0.0;
+    """)
+    expected = sum(2 if j < i else 1
+                   for i in range(20) for j in range(20))
+    assert scop.count_accesses() == expected
+
+
+def test_triangular_bounds_with_iterator():
+    scop = parse_scop("""
+        double A[50][50];
+        for (int i = 0; i < 50; i++)
+          for (int j = i; j < 50; j++)
+            A[i][j] = 1.0;
+    """)
+    assert scop.count_accesses() == sum(50 - i for i in range(50))
+
+
+def test_function_wrapper_is_accepted():
+    scop = parse_scop("""
+        void kernel_demo(int n) {
+          double A[10];
+          for (int i = 0; i < 10; i++)
+            A[i] = 0.0;
+        }
+    """)
+    assert scop.count_accesses() == 10
+
+
+def test_math_calls_contribute_reads():
+    scop = parse_scop("""
+        double A[10]; double B[10];
+        for (int i = 0; i < 10; i++)
+          B[i] = sqrt(A[i]);
+    """)
+    assert scop.count_accesses() == 20
+
+
+def test_frontend_scop_simulates_like_dsl():
+    """The parsed running example produces identical simulation results
+    under both simulators."""
+    scop = parse_scop("""
+        double A[1000]; double B[1000];
+        for (int i = 1; i < 999; i++)
+          B[i-1] = A[i-1] + A[i];
+    """, name="stencil")
+    cfg = CacheConfig(512, 4, 16, "lru")
+    ref = simulate_nonwarping(scop, Cache(cfg))
+    war = simulate_warping(scop, cfg)
+    assert ref.l1_misses == war.l1_misses
+    assert war.warp_count >= 1

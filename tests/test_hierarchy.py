@@ -1,0 +1,103 @@
+"""Tests for two-level NINE cache hierarchies (Sec. 2.3 / appendix A.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import CacheConfig, HierarchyConfig, WritePolicy
+from repro.cache.hierarchy import CacheHierarchy
+
+
+def small_hierarchy(l1_policy="lru", l2_policy="lru"):
+    return CacheHierarchy(HierarchyConfig(
+        l1=CacheConfig(256, 2, 16, l1_policy, name="L1"),
+        l2=CacheConfig(1024, 4, 16, l2_policy, name="L2"),
+    ))
+
+
+def test_block_size_must_match():
+    with pytest.raises(ValueError):
+        HierarchyConfig(CacheConfig(256, 2, 16), CacheConfig(1024, 4, 32))
+
+
+def test_l2_sets_must_be_multiple_of_l1_sets():
+    with pytest.raises(ValueError):
+        HierarchyConfig(
+            CacheConfig(96 * 16, 2, 16),   # 48 sets... size picked so
+            CacheConfig(64 * 16, 4, 16),   # L2 has fewer sets
+        )
+
+
+def test_l2_only_sees_l1_misses():
+    h = small_hierarchy()
+    h.access(0)          # L1 miss -> L2 accessed
+    h.access(0)          # L1 hit  -> L2 untouched
+    h.access(0)
+    assert h.l1.misses == 1 and h.l1.hits == 2
+    assert h.l2.accesses == 1
+
+
+def test_nine_non_inclusive_eviction():
+    """Evicting a block from L1 leaves it in L2 (non-inclusive), and
+    evicting from L2 does not back-invalidate L1 (non-exclusive)."""
+    h = small_hierarchy()
+    # L1: 8 sets x 2 ways. Blocks 0, 8, 16 conflict in L1 set 0;
+    # L2: 16 sets x 4 ways: no conflicts among them.
+    for block in (0, 8, 16):
+        h.access(block)
+    assert not h.l1.contains(0)
+    assert h.l2.contains(0)  # still in L2
+
+
+def test_l2_hit_after_l1_eviction():
+    h = small_hierarchy()
+    for block in (0, 8, 16):
+        h.access(block)
+    l1_hit, l2_hit = h.access(0)
+    assert not l1_hit and l2_hit is True
+
+
+def test_counters_and_reset():
+    h = small_hierarchy()
+    for block in range(20):
+        h.access(block)
+    assert h.accesses == 20
+    assert h.l1_misses == 20
+    assert h.l2_misses == 20
+    h.reset()
+    assert h.accesses == 0 and h.l2.accesses == 0
+
+
+def test_clone_is_deep():
+    h = small_hierarchy()
+    h.access(1)
+    copy = h.clone()
+    copy.access(2)
+    assert h.state_key() != copy.state_key()
+
+
+@pytest.mark.parametrize("policies", [("lru", "lru"), ("plru", "qlru"),
+                                      ("fifo", "lru")])
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 10_000), shift=st.integers(-32, 32))
+def test_corollary5_hierarchy_data_independence(policies, seed, shift):
+    """Block shifts commute with hierarchy updates (Corollary 5).
+
+    Shifts preserve both the L1 and the L2 set partition, hence lie in
+    Pi_index=,2 (subset of Pi_index=,1 since L2 has a multiple of L1's
+    sets).
+    """
+    rng = random.Random(seed)
+    trace = [(rng.randrange(0, 64), rng.random() < 0.3)
+             for _ in range(150)]
+    a = small_hierarchy(*policies)
+    for block, is_write in trace:
+        a.access(block, is_write)
+    mapped = a.apply_bijection(lambda b: b + shift)
+
+    b = small_hierarchy(*policies)
+    for block, is_write in trace:
+        b.access(block + shift, is_write)
+    assert mapped.state_key() == b.state_key()
+    assert (a.l1_misses, a.l2_misses) == (b.l1_misses, b.l2_misses)

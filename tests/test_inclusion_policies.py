@@ -1,0 +1,131 @@
+"""Tests for inclusive / exclusive hierarchies (the paper's Sec. 2.3
+extension: all inclusion policies satisfy data independence)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy, InclusionPolicy
+
+
+def hierarchy(inclusion, l1_policy="lru", l2_policy="lru"):
+    return CacheHierarchy(
+        HierarchyConfig(
+            l1=CacheConfig(256, 2, 16, l1_policy, name="L1"),
+            l2=CacheConfig(1024, 4, 16, l2_policy, name="L2"),
+        ),
+        inclusion=inclusion,
+    )
+
+
+def resident(cache, block):
+    return cache.contains(block)
+
+
+def test_inclusive_back_invalidation():
+    """Evicting a block from the L2 must remove it from the L1 too."""
+    h = hierarchy(InclusionPolicy.INCLUSIVE)
+    # L2: 16 sets x 4 ways. Blocks k*16 all map to L2 set 0.
+    conflicting = [k * 16 for k in range(5)]  # 5 > 4-way: evicts one
+    for block in conflicting:
+        h.access(block)
+    # The L2 victim is the LRU block (the first accessed).
+    assert not resident(h.l2, conflicting[0])
+    # Inclusion: it must be gone from the L1 as well.
+    assert not resident(h.l1, conflicting[0])
+
+
+def test_inclusive_subset_invariant():
+    """L1 contents remain a subset of L2 contents at all times."""
+    rng = random.Random(3)
+    h = hierarchy(InclusionPolicy.INCLUSIVE)
+    for _ in range(500):
+        h.access(rng.randrange(0, 96), rng.random() < 0.3)
+        l1_blocks = {b for s in h.l1.sets for b in s.lines
+                     if b is not None}
+        l2_blocks = {b for s in h.l2.sets for b in s.lines
+                     if b is not None}
+        assert l1_blocks <= l2_blocks
+
+
+def test_exclusive_no_duplication():
+    """A block never resides in both levels under exclusion."""
+    rng = random.Random(4)
+    h = hierarchy(InclusionPolicy.EXCLUSIVE)
+    for _ in range(500):
+        h.access(rng.randrange(0, 96), rng.random() < 0.3)
+        l1_blocks = {b for s in h.l1.sets for b in s.lines
+                     if b is not None}
+        l2_blocks = {b for s in h.l2.sets for b in s.lines
+                     if b is not None}
+        assert not (l1_blocks & l2_blocks)
+
+
+def test_exclusive_victim_flow():
+    """An L1 eviction inserts the victim into the L2; re-accessing it
+    hits the L2 and moves it back."""
+    h = hierarchy(InclusionPolicy.EXCLUSIVE)
+    # L1: 8 sets x 2 ways: blocks 0, 8, 16 conflict in set 0.
+    h.access(0)
+    h.access(8)
+    h.access(16)          # evicts 0 -> L2
+    assert not resident(h.l1, 0)
+    assert resident(h.l2, 0)
+    _, l2_hit = h.access(0)
+    assert l2_hit is True
+    assert resident(h.l1, 0)
+    assert not resident(h.l2, 0)  # moved out (exclusion)
+
+
+def test_exclusive_effective_capacity():
+    """Exclusion gives L1+L2 combined capacity: a working set equal to
+    the sum of both levels thrashes NINE less than it fits exclusive."""
+    total_lines = 16 + 64  # L1 + L2 lines
+    working_set = list(range(total_lines))
+    excl = hierarchy(InclusionPolicy.EXCLUSIVE)
+    nine = hierarchy(InclusionPolicy.NINE)
+    for _ in range(6):
+        for block in working_set:
+            excl.access(block)
+            nine.access(block)
+    # Steady-state: the exclusive hierarchy can hold the whole set.
+    assert excl.l2.misses <= nine.l2.misses
+
+
+def test_nine_unchanged_by_default():
+    h = CacheHierarchy(HierarchyConfig(CacheConfig(256, 2, 16),
+                                       CacheConfig(1024, 4, 16)))
+    assert h.inclusion is InclusionPolicy.NINE
+
+
+@pytest.mark.parametrize("inclusion", list(InclusionPolicy))
+@settings(deadline=None, max_examples=12)
+@given(seed=st.integers(0, 5000), shift=st.integers(-32, 32))
+def test_data_independence_all_inclusion_policies(inclusion, seed, shift):
+    """Corollary 5 extended: every inclusion policy commutes with
+    partition-preserving block renamings."""
+    rng = random.Random(seed)
+    trace = [(rng.randrange(0, 64), rng.random() < 0.25)
+             for _ in range(200)]
+    a = hierarchy(inclusion)
+    for block, is_write in trace:
+        a.access(block, is_write)
+    b = hierarchy(inclusion)
+    for block, is_write in trace:
+        b.access(block + shift, is_write)
+    assert (a.l1.misses, a.l2.misses) == (b.l1.misses, b.l2.misses)
+    assert a.apply_bijection(lambda blk: blk + shift).state_key() \
+        == b.state_key()
+
+
+@pytest.mark.parametrize("inclusion", list(InclusionPolicy))
+def test_counters_consistent(inclusion):
+    rng = random.Random(9)
+    h = hierarchy(inclusion)
+    n = 300
+    for _ in range(n):
+        h.access(rng.randrange(0, 80))
+    assert h.l1.hits + h.l1.misses == n
+    assert h.l2.hits + h.l2.misses == h.l1.misses

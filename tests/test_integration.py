@@ -1,0 +1,111 @@
+"""End-to-end integration tests: all components must agree.
+
+For a selection of PolyBench kernels at small sizes, the five
+independent implementations of LRU miss counting — tree simulation,
+warping symbolic simulation, trace-driven (Dinero-style) simulation, the
+stack-distance (HayStack-style) model on a fully-associative cache, and
+the per-set (PolyCache-style) model — must produce identical counts
+wherever their cache models coincide.
+"""
+
+import pytest
+
+from repro.baselines import haystack_misses, polycache_misses, simulate_dinero
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.polybench import build_kernel
+from repro.simulation import simulate_nonwarping, simulate_warping
+
+SMALL_SIZES = {
+    "gemm": {"NI": 12, "NJ": 14, "NK": 16},
+    "atax": {"M": 20, "N": 24},
+    "jacobi-2d": {"TSTEPS": 4, "N": 20},
+    "seidel-2d": {"TSTEPS": 4, "N": 20},
+    "trisolv": {"N": 40},
+    "cholesky": {"N": 24},
+    "doitgen": {"NQ": 6, "NR": 6, "NP": 8},
+    "durbin": {"N": 40},
+    "floyd-warshall": {"N": 16},
+    "mvt": {"N": 28},
+    "nussinov": {"N": 24},
+    "deriche": {"W": 16, "H": 16},
+    "fdtd-2d": {"TMAX": 4, "NX": 12, "NY": 16},
+}
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+def test_all_lru_implementations_agree(name):
+    scop = build_kernel(name, SMALL_SIZES[name])
+    cfg = CacheConfig(512, 4, 16, "lru")
+
+    tree = simulate_nonwarping(scop, Cache(cfg))
+    warp = simulate_warping(scop, cfg)
+    dinero = simulate_dinero(scop, cfg)
+    polycache = polycache_misses(scop, cfg)
+
+    assert tree.l1_misses == warp.l1_misses
+    assert tree.l1_misses == dinero.l1_misses
+    assert tree.l1_misses == polycache.l1_misses
+    assert tree.accesses == warp.accesses == dinero.accesses
+
+
+@pytest.mark.parametrize("name", ["gemm", "jacobi-2d", "trisolv"])
+def test_haystack_agrees_on_fully_associative(name):
+    scop = build_kernel(name, SMALL_SIZES[name])
+    fa = CacheConfig.fully_associative(512, 16, "lru")
+    tree = simulate_nonwarping(scop, Cache(fa))
+    model = haystack_misses(scop, fa)
+    assert model.l1_misses == tree.l1_misses
+
+
+@pytest.mark.parametrize("name", ["jacobi-2d", "atax", "doitgen"])
+@pytest.mark.parametrize("policy", ["plru", "qlru"])
+def test_non_lru_policies_warping_vs_tree(name, policy):
+    scop = build_kernel(name, SMALL_SIZES[name])
+    cfg = CacheConfig(512, 4, 16, policy)
+    tree = simulate_nonwarping(scop, Cache(cfg))
+    warp = simulate_warping(scop, cfg)
+    assert tree.l1_misses == warp.l1_misses
+
+
+@pytest.mark.parametrize("name", ["gemm", "jacobi-2d", "mvt"])
+def test_hierarchy_consistency(name):
+    scop = build_kernel(name, SMALL_SIZES[name])
+    config = HierarchyConfig(
+        l1=CacheConfig(256, 2, 16, "lru", name="L1"),
+        l2=CacheConfig(2048, 4, 16, "lru", name="L2"),
+    )
+    tree = simulate_nonwarping(scop, CacheHierarchy(config))
+    warp = simulate_warping(scop, config)
+    dinero = simulate_dinero(scop, config)
+    polycache = polycache_misses(scop, config)
+    assert (tree.l1_misses, tree.l2_misses) == \
+        (warp.l1_misses, warp.l2_misses)
+    assert (tree.l1_misses, tree.l2_misses) == \
+        (dinero.l1_misses, dinero.l2_misses)
+    assert (tree.l1_misses, tree.l2_misses) == \
+        (polycache.l1_misses, polycache.l2_misses)
+
+
+def test_frontend_kernel_equals_dsl_kernel():
+    """The mini-C gemm must produce exactly the registry gemm's counts."""
+    from repro.frontend import parse_scop
+
+    source = """
+        double C[12][14]; double A[12][16]; double B[16][14];
+        for (int i = 0; i < 12; i++) {
+          for (int j = 0; j < 14; j++)
+            C[i][j] *= 0.5;
+          for (int k = 0; k < 16; k++)
+            for (int j = 0; j < 14; j++)
+              C[i][j] += A[i][k] * B[k][j];
+        }
+    """
+    parsed = parse_scop(source, name="gemm-c")
+    registry = build_kernel("gemm", {"NI": 12, "NJ": 14, "NK": 16})
+    cfg = CacheConfig(512, 4, 16, "plru")
+    a = simulate_nonwarping(parsed, Cache(cfg))
+    b = simulate_nonwarping(registry, Cache(cfg))
+    assert a.accesses == b.accesses
+    assert a.l1_misses == b.l1_misses

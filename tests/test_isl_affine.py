@@ -1,0 +1,134 @@
+"""Unit tests for repro.isl.affine (LinExpr)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isl.affine import LinExpr
+
+
+def test_const_and_var():
+    c = LinExpr.const(5)
+    assert c.is_constant()
+    assert c.constant == 5
+    v = LinExpr.var("i")
+    assert not v.is_constant()
+    assert v.coeff("i") == 1
+    assert v.coeff("j") == 0
+
+
+def test_zero_coefficients_are_dropped():
+    e = LinExpr({"i": 0, "j": 2}, 1)
+    assert e.dims() == frozenset({"j"})
+
+
+def test_arithmetic():
+    i, j = LinExpr.var("i"), LinExpr.var("j")
+    e = 2 * i + j - 3
+    assert e.coeff("i") == 2
+    assert e.coeff("j") == 1
+    assert e.constant == -3
+    assert (e - e).is_constant()
+    assert (e - e).constant == 0
+    assert (-e).coeff("i") == -2
+
+
+def test_scalar_multiplication():
+    i = LinExpr.var("i")
+    e = (i + 1) * 4
+    assert e.coeff("i") == 4
+    assert e.constant == 4
+    assert (e * 0).is_constant()
+
+
+def test_evaluate():
+    i, j = LinExpr.var("i"), LinExpr.var("j")
+    e = 3 * i - 2 * j + 7
+    assert e.evaluate({"i": 2, "j": 5}) == 3
+
+
+def test_evaluate_requires_all_dims():
+    e = LinExpr.var("i") + LinExpr.var("j")
+    with pytest.raises(KeyError):
+        e.evaluate({"i": 1})
+
+
+def test_substitute():
+    i, j = LinExpr.var("i"), LinExpr.var("j")
+    e = 2 * i + j
+    s = e.substitute({"i": j + 1})
+    assert s.coeff("j") == 3
+    assert s.constant == 2
+    assert s.coeff("i") == 0
+
+
+def test_substitute_leaves_unbound_dims():
+    e = LinExpr.var("i") + LinExpr.var("j")
+    s = e.substitute({"i": LinExpr.const(0)})
+    assert s.coeff("j") == 1
+
+
+def test_rename():
+    e = 2 * LinExpr.var("i") + 1
+    r = e.rename({"i": "k"})
+    assert r.coeff("k") == 2
+    assert r.coeff("i") == 0
+
+
+def test_shift():
+    i = LinExpr.var("i")
+    e = 3 * i + 1
+    s = e.shift({"i": 2})
+    # i -> i + 2: coefficient unchanged, constant absorbs 3*2
+    assert s.coeff("i") == 3
+    assert s.constant == 7
+
+
+def test_equality_and_hash():
+    a = 2 * LinExpr.var("i") + 3
+    b = LinExpr({"i": 2}, 3)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != b + 1
+
+
+def test_is_integral():
+    assert (2 * LinExpr.var("i") + 3).is_integral()
+    assert not (LinExpr.var("i") * Fraction(1, 2)).is_integral()
+    assert (LinExpr.var("i") * Fraction(4, 2)).is_integral()
+
+
+def test_repr_is_readable():
+    e = 2 * LinExpr.var("i") - LinExpr.var("j") + 1
+    text = repr(e)
+    assert "i" in text and "j" in text
+
+
+@given(
+    st.dictionaries(st.sampled_from("ijk"), st.integers(-5, 5), max_size=3),
+    st.dictionaries(st.sampled_from("ijk"), st.integers(-5, 5), max_size=3),
+    st.integers(-10, 10),
+    st.integers(-10, 10),
+)
+def test_add_commutes_with_evaluate(c1, c2, k1, k2):
+    """evaluate is a homomorphism: (a+b)(x) == a(x) + b(x)."""
+    a = LinExpr(c1, k1)
+    b = LinExpr(c2, k2)
+    point = {d: 3 for d in "ijk"}
+    assert (a + b).evaluate(point) == a.evaluate(point) + b.evaluate(point)
+    assert (a - b).evaluate(point) == a.evaluate(point) - b.evaluate(point)
+
+
+@given(
+    st.dictionaries(st.sampled_from("ijk"), st.integers(-5, 5), max_size=3),
+    st.integers(-10, 10),
+    st.dictionaries(st.sampled_from("ijk"), st.integers(-4, 4), min_size=3,
+                    max_size=3),
+)
+def test_shift_matches_substitution(coeffs, const, offsets):
+    """shift(d -> d+o) equals evaluating at the shifted point."""
+    e = LinExpr(coeffs, const)
+    point = {"i": 1, "j": -2, "k": 5}
+    shifted_point = {d: point[d] + offsets.get(d, 0) for d in point}
+    assert e.shift(offsets).evaluate(point) == e.evaluate(shifted_point)

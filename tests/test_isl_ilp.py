@@ -1,0 +1,138 @@
+"""Unit tests for the exact rational simplex / branch-and-bound ILP."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isl.affine import LinExpr
+from repro.isl.ilp import IlpProblem, IlpStatus
+
+
+def box_problem(bounds):
+    """Problem with lo <= var <= hi constraints."""
+    problem = IlpProblem()
+    for name, (lo, hi) in bounds.items():
+        problem.add_ge0(LinExpr.var(name) - lo)
+        problem.add_ge0(-LinExpr.var(name) + hi)
+    return problem
+
+
+def test_feasible_box():
+    problem = box_problem({"x": (2, 5)})
+    assert problem.is_feasible()
+    point = problem.find_point()
+    assert 2 <= point["x"] <= 5
+
+
+def test_infeasible_box():
+    problem = box_problem({"x": (5, 2)})
+    assert not problem.is_feasible()
+
+
+def test_minimize_and_maximize():
+    problem = box_problem({"x": (-3, 7)})
+    assert problem.solve_ilp(LinExpr.var("x")).objective == -3
+    result = problem.solve_ilp(LinExpr.var("x"), minimize=False)
+    assert result.objective == 7
+
+
+def test_negative_coefficients_objective():
+    problem = box_problem({"x": (0, 10), "y": (0, 10)})
+    # min (x - 2y) at x=0, y=10
+    result = problem.solve_ilp(LinExpr.var("x") - 2 * LinExpr.var("y"))
+    assert result.objective == -20
+    assert result.assignment["x"] == 0
+    assert result.assignment["y"] == 10
+
+
+def test_equality_constraint():
+    problem = box_problem({"x": (0, 10), "y": (0, 10)})
+    problem.add_eq0(LinExpr.var("x") + LinExpr.var("y") - 7)
+    result = problem.solve_ilp(LinExpr.var("x"))
+    assert result.objective == 0
+    assert result.assignment["y"] == 7
+
+
+def test_unbounded_objective():
+    problem = IlpProblem()
+    problem.add_ge0(LinExpr.var("x"))  # x >= 0, nothing above
+    result = problem.solve_ilp(LinExpr.var("x"), minimize=False)
+    assert result.status is IlpStatus.UNBOUNDED
+
+
+def test_integrality_forces_rounding():
+    # 2x == 5 has a rational solution but no integer one.
+    problem = IlpProblem()
+    problem.add_eq0(2 * LinExpr.var("x") - 5)
+    assert not problem.is_feasible()
+
+
+def test_integrality_with_objective():
+    # min x s.t. 3x >= 7  ->  rational 7/3, integer 3.
+    problem = IlpProblem()
+    problem.add_ge0(3 * LinExpr.var("x") - 7)
+    problem.add_ge0(-LinExpr.var("x") + 100)
+    result = problem.solve_ilp(LinExpr.var("x"))
+    assert result.objective == 3
+
+
+def test_lp_relaxation_is_rational():
+    problem = IlpProblem()
+    problem.add_ge0(3 * LinExpr.var("x") - 7)
+    problem.add_ge0(-LinExpr.var("x") + 100)
+    result = problem.solve_lp(LinExpr.var("x"))
+    assert result.objective == Fraction(7, 3)
+
+
+def test_free_variables_can_be_negative():
+    problem = box_problem({"x": (-10, -5)})
+    result = problem.solve_ilp(LinExpr.var("x"), minimize=False)
+    assert result.objective == -5
+
+
+def test_two_variable_diophantine():
+    # x + 2y == 1, 0 <= x,y <= 4: solutions (1,0).
+    problem = box_problem({"x": (0, 4), "y": (0, 4)})
+    problem.add_eq0(LinExpr.var("x") + 2 * LinExpr.var("y") - 1)
+    result = problem.solve_ilp(LinExpr.var("y"), minimize=False)
+    assert result.status is IlpStatus.OPTIMAL
+    x, y = result.assignment["x"], result.assignment["y"]
+    assert x + 2 * y == 1
+
+
+def test_no_constraints_zero_objective():
+    problem = IlpProblem()
+    result = problem.solve_ilp(LinExpr.const(0))
+    assert result.status is IlpStatus.OPTIMAL
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    lo1=st.integers(-6, 6), width1=st.integers(0, 6),
+    lo2=st.integers(-6, 6), width2=st.integers(0, 6),
+    a=st.integers(-3, 3), b=st.integers(-3, 3), c=st.integers(-8, 8),
+    ca=st.integers(-3, 3), cb=st.integers(-3, 3),
+)
+def test_ilp_matches_brute_force(lo1, width1, lo2, width2, a, b, c, ca, cb):
+    """On random 2-D boxes with one extra inequality, the ILP optimum
+    matches exhaustive enumeration."""
+    hi1, hi2 = lo1 + width1, lo2 + width2
+    problem = box_problem({"x": (lo1, hi1), "y": (lo2, hi2)})
+    extra = a * LinExpr.var("x") + b * LinExpr.var("y") + c
+    problem.add_ge0(extra)
+    objective = ca * LinExpr.var("x") + cb * LinExpr.var("y")
+
+    feasible = [
+        (x, y)
+        for x in range(lo1, hi1 + 1)
+        for y in range(lo2, hi2 + 1)
+        if a * x + b * y + c >= 0
+    ]
+    result = problem.solve_ilp(objective)
+    if not feasible:
+        assert result.status is IlpStatus.INFEASIBLE
+    else:
+        expected = min(ca * x + cb * y for x, y in feasible)
+        assert result.status is IlpStatus.OPTIMAL
+        assert result.objective == expected

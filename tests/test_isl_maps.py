@@ -1,0 +1,83 @@
+"""Unit tests for repro.isl.maps."""
+
+import pytest
+
+from repro.isl.affine import LinExpr
+from repro.isl.maps import BasicMap, Map
+from repro.isl.sets import BasicSet
+
+I, J, O = LinExpr.var("i"), LinExpr.var("j"), LinExpr.var("o")
+
+
+def shift_map(offset=1, lo=0, hi=9):
+    """{(i) -> (o) | o = i + offset, lo <= i <= hi}."""
+    domain = BasicSet.from_bounds(("i",), {"i": (lo, hi)})
+    return BasicMap.from_exprs(("i",), ("o",), [I + offset], domain)
+
+
+def test_from_exprs_arity_check():
+    with pytest.raises(ValueError):
+        BasicMap.from_exprs(("i",), ("o", "p"), [I])
+
+
+def test_overlapping_dims_rejected():
+    wrapped = BasicSet(("i", "i2"))
+    with pytest.raises(ValueError):
+        BasicMap(("i",), ("i",), BasicSet(("i", "i")))
+
+
+def test_domain_range():
+    m = shift_map(offset=3, lo=2, hi=5)
+    dom = m.domain()
+    assert sorted(p[0] for p in dom.enumerate_points()) == [2, 3, 4, 5]
+    ran = m.range()
+    assert sorted(p[0] for p in ran.enumerate_points()) == [5, 6, 7, 8]
+
+
+def test_fix_input():
+    m = shift_map(offset=2)
+    image = m.fix_input((4,))
+    assert image.lexmin() == (6,)
+    assert image.lexmax() == (6,)
+    outside = m.fix_input((100,))
+    assert outside.is_empty()
+
+
+def test_intersect_domain():
+    m = shift_map(offset=1, lo=0, hi=9)
+    restricted = m.intersect_domain(
+        BasicSet.from_bounds(("i",), {"i": (5, 20)})
+    )
+    dom = restricted.domain()
+    assert sorted(p[0] for p in dom.enumerate_points()) == [5, 6, 7, 8, 9]
+
+
+def test_sample():
+    m = shift_map()
+    inp, out = m.sample()
+    assert out[0] == inp[0] + 1
+    assert shift_map(lo=5, hi=2).sample() is None
+
+
+def test_map_union_and_functionality():
+    a = shift_map(offset=1)
+    b = shift_map(offset=2)
+    union = Map(("i",), ("o",), [a, b])
+    assert not union.is_functional_on((3,))
+    single = Map(("i",), ("o",), [a])
+    assert single.is_functional_on((3,))
+    # Outside the domain the image is empty, which counts as functional.
+    assert union.is_functional_on((50,))
+
+
+def test_map_domain_range_union():
+    union = Map(("i",), ("o",), [shift_map(lo=0, hi=2),
+                                 shift_map(lo=10, hi=11)])
+    dom_points = sorted(p[0] for p in union.domain().enumerate_points())
+    assert dom_points == [0, 1, 2, 10, 11]
+
+
+def test_signature_mismatch_rejected():
+    a = shift_map()
+    with pytest.raises(ValueError):
+        Map(("x",), ("o",), [a])

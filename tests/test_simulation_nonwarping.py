@@ -1,0 +1,111 @@
+"""Tests for Algorithm 1 (non-warping simulation) and trace generation."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.polyhedral import ScopBuilder
+from repro.simulation import simulate_nonwarping
+from repro.simulation.trace import iter_trace, materialize_trace
+
+
+def linear_scan(n=64, repeats=2):
+    b = ScopBuilder("scan")
+    A = b.array("A", (n,))
+    with b.loop("r", 0, repeats):
+        with b.loop("i", 0, n):
+            b.read(A, b.i)
+    return b.build()
+
+
+def stencil(n=100):
+    b = ScopBuilder("stencil")
+    A = b.array("A", (n,))
+    B = b.array("B", (n,))
+    with b.loop("i", 1, n - 1):
+        b.read(A, b.i - 1)
+        b.read(A, b.i)
+        b.write(B, b.i - 1)
+    return b.build()
+
+
+def test_scan_miss_count_exact():
+    """A scan of n elements at e bytes with block size b misses every
+    b/e-th access and hits otherwise once cached."""
+    scop = linear_scan(n=64, repeats=2)
+    # 16-byte blocks: 2 doubles per block, array = 32 blocks; cache big
+    # enough to hold everything.
+    cfg = CacheConfig(1024, 4, 16, "lru")
+    result = simulate_nonwarping(scop, Cache(cfg))
+    assert result.accesses == 128
+    assert result.l1_misses == 32          # cold misses only
+    assert result.l1_hits == 128 - 32
+
+
+def test_stencil_miss_count_exact():
+    """The paper's running example: 3 misses in the first iteration,
+    then 1 hit, 2 misses per iteration (cache of two lines, one element
+    per line)."""
+    scop = stencil(n=100)
+    cfg = CacheConfig.fully_associative(16, 8, "lru")
+    result = simulate_nonwarping(scop, Cache(cfg))
+    iterations = 98
+    assert result.accesses == iterations * 3
+    assert result.l1_misses == 3 + (iterations - 1) * 2
+
+
+def test_hierarchy_result_fields():
+    scop = linear_scan(n=128, repeats=1)
+    config = HierarchyConfig(CacheConfig(256, 2, 16),
+                             CacheConfig(2048, 4, 16))
+    result = simulate_nonwarping(scop, CacheHierarchy(config))
+    assert result.l1_misses == 64  # 64 blocks, all cold
+    assert result.l2_misses == 64
+    assert result.accesses == 128
+
+
+def test_warm_state_reuses_contents():
+    scop = linear_scan(n=16, repeats=1)
+    cfg = CacheConfig(1024, 4, 16, "lru")
+    cache = Cache(cfg)
+    first = simulate_nonwarping(scop, cache)
+    assert first.l1_misses == 8
+    second = simulate_nonwarping(scop, cache, warm_state=True)
+    assert second.l1_misses == 0  # everything still cached
+    third = simulate_nonwarping(scop, cache)  # cold again
+    assert third.l1_misses == 8
+
+
+def test_guarded_access_skipped():
+    b = ScopBuilder("guarded")
+    A = b.array("A", (100,))
+    with b.loop("i", 0, 10):
+        b.read(A, b.i, guard=[b.i - 8])
+    scop = b.build()
+    result = simulate_nonwarping(scop, Cache(CacheConfig(256, 2, 16)))
+    assert result.accesses == 2  # i = 8, 9
+
+
+def test_trace_matches_simulation_order():
+    scop = stencil(n=10)
+    trace = materialize_trace(scop, block_size=8)
+    # First iteration accesses A[0], A[1], B[0].
+    a_base = 0
+    b_base = scop.layout["B"].base // 8
+    assert trace[0] == (a_base + 0, False)
+    assert trace[1] == (a_base + 1, False)
+    assert trace[2] == (b_base + 0, True)
+    assert len(trace) == scop.count_accesses()
+
+
+def test_iter_trace_is_lazy_and_equal():
+    scop = stencil(n=20)
+    assert list(iter_trace(scop, 16)) == materialize_trace(scop, 16)
+
+
+def test_result_string_readable():
+    scop = linear_scan(n=8, repeats=1)
+    result = simulate_nonwarping(scop, Cache(CacheConfig(256, 2, 16)))
+    text = str(result)
+    assert "scan" in text and "misses" in text

@@ -1,0 +1,263 @@
+"""Correctness tests for warping symbolic simulation (Algorithm 2).
+
+The central property (Theorem 4 applied by the implementation): for any
+SCoP and any cache configuration, warping simulation produces exactly
+the hit/miss counts of non-warping simulation — warping only changes
+how fast they are computed.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.polyhedral import ScopBuilder
+from repro.simulation import simulate_nonwarping, simulate_warping
+
+
+def stencil_1d(n=999):
+    b = ScopBuilder("stencil1d")
+    A = b.array("A", (n + 1,))
+    B = b.array("B", (n + 1,))
+    with b.loop("i", 1, n):
+        b.read(A, b.i - 1)
+        b.read(A, b.i)
+        b.write(B, b.i - 1)
+    return b.build()
+
+
+def assert_equivalent(scop, config):
+    if isinstance(config, HierarchyConfig):
+        ref = simulate_nonwarping(scop, CacheHierarchy(config))
+    else:
+        ref = simulate_nonwarping(scop, Cache(config))
+    war = simulate_warping(scop, config)
+    assert war.accesses == ref.accesses, scop.name
+    assert war.l1_misses == ref.l1_misses, scop.name
+    assert war.l2_misses == ref.l2_misses, scop.name
+    return war
+
+
+# -- the paper's running example ----------------------------------------------------
+
+
+def test_running_example_fully_associative():
+    """Fig. 1/2: cache of two lines, LRU; 3 + 998*2 - 2 misses, one warp
+    fast-forwards the loop."""
+    scop = stencil_1d()
+    cfg = CacheConfig.fully_associative(16, 8, "lru")
+    war = assert_equivalent(scop, cfg)
+    assert war.l1_misses == 3 + 997 * 2
+    assert war.warp_count >= 1
+    assert war.non_warped_share < 0.05
+
+
+def test_running_example_set_associative():
+    """Fig. 3: 4 sets x 2 ways; rotation match (pi_rot(1))."""
+    scop = stencil_1d()
+    cfg = CacheConfig(64, 2, 8, "lru")
+    war = assert_equivalent(scop, cfg)
+    assert war.warp_count >= 1
+    assert war.non_warped_share < 0.05
+
+
+@pytest.mark.parametrize("policy", ["lru", "fifo", "plru", "qlru",
+                                    "nmru"])
+def test_running_example_all_policies(policy):
+    scop = stencil_1d(n=400)
+    war = assert_equivalent(scop, CacheConfig(64, 2, 8, policy))
+    assert war.warp_count >= 1
+
+
+def test_disable_warping_flag():
+    scop = stencil_1d(n=200)
+    result = simulate_warping(scop, CacheConfig(64, 2, 8, "lru"),
+                              enable_warping=False)
+    assert result.warp_count == 0
+    assert result.simulated_accesses == result.accesses
+    ref = simulate_nonwarping(scop, Cache(CacheConfig(64, 2, 8, "lru")))
+    assert result.l1_misses == ref.l1_misses
+
+
+# -- warping across two-level hierarchies ----------------------------------------------
+
+
+def test_hierarchy_warping_equivalence():
+    scop = stencil_1d(n=600)
+    config = HierarchyConfig(
+        l1=CacheConfig(64, 2, 8, "lru", name="L1"),
+        l2=CacheConfig(256, 4, 8, "lru", name="L2"),
+    )
+    war = assert_equivalent(scop, config)
+    assert war.warp_count >= 1, "both levels should match and warp"
+
+
+def test_hierarchy_mixed_policies():
+    scop = stencil_1d(n=400)
+    config = HierarchyConfig(
+        l1=CacheConfig(64, 2, 8, "plru", name="L1"),
+        l2=CacheConfig(512, 4, 8, "qlru", name="L2"),
+    )
+    assert_equivalent(scop, config)
+
+
+# -- structural edge cases ----------------------------------------------------------------
+
+
+def test_triangular_loop_never_warps_wrong():
+    b = ScopBuilder("tri")
+    A = b.array("A", (60, 60))
+    x = b.array("x", (60,))
+    with b.loop("i", 0, 60):
+        with b.loop("j", b.i, 60):
+            b.read(A, b.i, b.j)
+            b.read(x, b.j)
+    assert_equivalent(b.build(), CacheConfig(128, 2, 16, "lru"))
+
+
+def test_guarded_accesses():
+    b = ScopBuilder("guards")
+    A = b.array("A", (128,))
+    B = b.array("B", (128,))
+    with b.loop("i", 0, 128):
+        b.read(A, b.i)
+        b.write(B, b.i, guard=[b.i - 64])  # second half only
+    war = assert_equivalent(b.build(), CacheConfig(64, 2, 8, "lru"))
+
+
+def test_guard_boundary_blocks_warping_across_it():
+    """Warping must stop at the guard boundary, then resume after it."""
+    b = ScopBuilder("guard-boundary")
+    A = b.array("A", (256,))
+    B = b.array("B", (256,))
+    with b.loop("i", 0, 256):
+        b.read(A, b.i)
+        b.read(B, b.i, guard=[127 - b.i])  # first half only
+    war = assert_equivalent(b.build(), CacheConfig(64, 2, 8, "lru"))
+    assert war.warp_count >= 1
+
+
+def test_imperfect_nest():
+    b = ScopBuilder("imperfect")
+    A = b.array("A", (64, 64))
+    s = b.array("s", (64,))
+    with b.loop("i", 0, 64):
+        b.write(s, b.i)
+        with b.loop("j", 0, 64):
+            b.read(A, b.i, b.j)
+            b.read(s, b.i)
+            b.write(s, b.i)
+    assert_equivalent(b.build(), CacheConfig(256, 2, 16, "lru"))
+
+
+def test_outer_loop_warping_rectangular():
+    """A rectangular 2-D sweep should warp at the row level."""
+    b = ScopBuilder("rows")
+    A = b.array("A", (64, 64))  # row = 64*8 = 512B
+    with b.loop("i", 0, 64):
+        with b.loop("j", 0, 64):
+            b.read(A, b.i, b.j)
+    # 8 sets x 32B: row shift = 512B = 16 blocks = rotation 0 mod 8.
+    war = assert_equivalent(b.build(), CacheConfig(512, 2, 32, "lru"))
+    assert war.warp_count >= 1
+    assert war.non_warped_share < 0.5
+
+
+def test_multiple_top_level_nests():
+    b = ScopBuilder("two-nests")
+    A = b.array("A", (128,))
+    B = b.array("B", (128,))
+    with b.loop("i", 0, 128):
+        b.read(A, b.i)
+    with b.loop("i", 0, 128):
+        b.read(B, b.i)
+        b.write(B, b.i)
+    assert_equivalent(b.build(), CacheConfig(64, 2, 8, "fifo"))
+
+
+def test_stride_two_loop():
+    b = ScopBuilder("strided")
+    A = b.array("A", (256,))
+    with b.loop("i", 0, 256, stride=2):
+        b.read(A, b.i)
+    assert_equivalent(b.build(), CacheConfig(64, 2, 8, "lru"))
+
+
+def test_small_working_set_no_false_warp():
+    """jacobi-1d-style: the working set never fills the cache; symbolic
+    states keep evolving, so the counts must still be exact."""
+    b = ScopBuilder("tiny")
+    A = b.array("A", (8,))
+    B = b.array("B", (8,))
+    with b.loop("t", 0, 50):
+        with b.loop("i", 1, 7):
+            b.read(A, b.i - 1)
+            b.read(A, b.i + 1)
+            b.write(B, b.i)
+    assert_equivalent(b.build(), CacheConfig(1024, 4, 16, "lru"))
+
+
+def test_write_policy_no_write_allocate():
+    from repro.cache.config import WritePolicy
+
+    b = ScopBuilder("nwa")
+    A = b.array("A", (128,))
+    B = b.array("B", (128,))
+    with b.loop("i", 0, 128):
+        b.read(A, b.i)
+        b.write(B, b.i)
+    cfg = CacheConfig(64, 2, 8, "lru",
+                      write_policy=WritePolicy.NO_WRITE_ALLOCATE)
+    assert_equivalent(b.build(), cfg)
+
+
+# -- randomized differential testing ------------------------------------------------------
+
+
+@st.composite
+def random_scop(draw):
+    """Random 1- or 2-deep SCoPs over up to three arrays."""
+    builder = ScopBuilder("random")
+    arrays = [
+        builder.array(f"A{k}", (48, 48))
+        for k in range(draw(st.integers(1, 3)))
+    ]
+    outer_n = draw(st.integers(4, 24))
+    depth2 = draw(st.booleans())
+    triangular = depth2 and draw(st.booleans())
+
+    def emit_accesses(dims):
+        for _ in range(draw(st.integers(1, 3))):
+            array = draw(st.sampled_from(arrays))
+            c0 = draw(st.integers(0, 1))
+            c1 = draw(st.integers(0, 1))
+            off0 = draw(st.integers(0, 8))
+            off1 = draw(st.integers(0, 8))
+            i = builder.iter_expr(dims[0])
+            j = builder.iter_expr(dims[1]) if len(dims) > 1 else None
+            sub0 = i * c0 + off0 if j is None else i * c0 + off0
+            sub1 = (i * (1 - c1) + off1 if j is None
+                    else j * c1 + i * (1 - c1) + off1)
+            builder.access(array, sub0, sub1,
+                           is_write=draw(st.booleans()))
+
+    with builder.loop("i", 0, outer_n):
+        if depth2:
+            inner_lo = builder.i if triangular else 0
+            with builder.loop("j", inner_lo, draw(st.integers(4, 24))):
+                emit_accesses(("i", "j"))
+        else:
+            emit_accesses(("i",))
+    return builder.build()
+
+
+@settings(deadline=None, max_examples=25)
+@given(scop=random_scop(), data=st.data())
+def test_random_scop_differential(scop, data):
+    policy = data.draw(st.sampled_from(["lru", "fifo", "plru", "qlru",
+                                        "nmru"]))
+    sets = data.draw(st.sampled_from([1, 4, 8]))
+    assoc = data.draw(st.sampled_from([2, 4]))
+    cfg = CacheConfig(sets * assoc * 16, assoc, 16, policy)
+    assert_equivalent(scop, cfg)

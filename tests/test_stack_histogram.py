@@ -1,0 +1,109 @@
+"""Tests for the stack-distance histogram extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.haystack import lru_stack_misses
+from repro.baselines.stack_histogram import (
+    analyze,
+    estimate_set_associative,
+    miss_curve,
+    misses_for_sizes,
+    scop_stack_histogram,
+    stack_histogram,
+)
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.polybench import build_kernel
+from repro.simulation import simulate_nonwarping
+
+
+def test_histogram_simple():
+    # 1 2 1: the second access to 1 spans {2, 1} -> depth 2.
+    hist = stack_histogram([1, 2, 1])
+    assert hist == {0: 2, 2: 1}
+
+
+def test_histogram_immediate_reuse():
+    hist = stack_histogram([5, 5, 5])
+    assert hist == {0: 1, 1: 2}
+
+
+def test_histogram_total_count():
+    trace = [random.Random(1).randrange(0, 10) for _ in range(100)]
+    hist = stack_histogram(trace)
+    assert sum(hist.values()) == 100
+    assert hist[0] == len(set(trace))
+
+
+def test_misses_for_sizes_matches_stack_misses():
+    """One histogram answers every capacity, consistently with the
+    single-capacity engine."""
+    rng = random.Random(2)
+    trace = [rng.randrange(0, 20) for _ in range(300)]
+    hist = stack_histogram(trace)
+    capacities = [1, 2, 3, 4, 8, 16, 32]
+    by_histogram = misses_for_sizes(hist, capacities)
+    for capacity in capacities:
+        direct, _ = lru_stack_misses(trace, capacity)
+        assert by_histogram[capacity] == direct, capacity
+
+
+def test_misses_monotone_in_capacity():
+    rng = random.Random(5)
+    trace = [rng.randrange(0, 30) for _ in range(400)]
+    hist = stack_histogram(trace)
+    sizes = list(range(1, 33))
+    misses = misses_for_sizes(hist, sizes)
+    values = [misses[s] for s in sizes]
+    assert values == sorted(values, reverse=True)  # inclusion property
+
+
+def test_miss_curve_endpoints():
+    trace = [1, 2, 3, 1, 2, 3]
+    curve = miss_curve(stack_histogram(trace))
+    capacities = [c for c, _ in curve]
+    misses = dict(curve)
+    assert misses[0] == 6          # no cache: everything misses
+    assert misses[max(capacities)] == 3  # big cache: only cold misses
+
+
+def test_scop_histogram_matches_simulation():
+    scop = build_kernel("mvt", {"N": 24})
+    hist = scop_stack_histogram(scop, 16)
+    for lines in (4, 16, 64):
+        cache = Cache(CacheConfig.fully_associative(lines * 16, 16, "lru"))
+        ref = simulate_nonwarping(scop, cache)
+        assert misses_for_sizes(hist, [lines])[lines] == ref.l1_misses
+
+
+def test_set_associative_estimate_reasonable():
+    """The Smith/Hill estimate should land near the exact per-set count
+    for a well-mixed workload."""
+    scop = build_kernel("gemm", {"NI": 12, "NJ": 14, "NK": 16})
+    cfg = CacheConfig(512, 2, 16, "lru")
+    hist = scop_stack_histogram(scop, 16)
+    estimate = estimate_set_associative(hist, cfg.num_sets, cfg.assoc)
+    exact = simulate_nonwarping(scop, Cache(cfg)).l1_misses
+    assert exact * 0.5 <= estimate <= exact * 2.0
+
+
+def test_analyze_summary():
+    scop = build_kernel("trisolv", {"N": 32})
+    summary = analyze(scop, 16, [8, 32])
+    assert summary["accesses"] == sum(summary["histogram"].values())
+    assert summary["misses"][8] >= summary["misses"][32]
+    assert summary["wall_time"] >= 0
+
+
+@settings(deadline=None, max_examples=30)
+@given(trace=st.lists(st.integers(0, 12), max_size=120),
+       capacity=st.integers(1, 16))
+def test_histogram_capacity_property(trace, capacity):
+    """For random traces, histogram-derived misses equal a direct LRU
+    stack simulation at every capacity."""
+    hist = stack_histogram(trace)
+    direct, _ = lru_stack_misses(trace, capacity)
+    assert misses_for_sizes(hist, [capacity])[capacity] == direct
