@@ -1,0 +1,64 @@
+"""Sweep-engine throughput: points/second serial, parallel, resumed.
+
+Not a paper figure — this measures the exploration harness added on top
+of the paper's simulator.  Three numbers matter:
+
+* serial throughput — the per-point overhead the sweep layer adds over
+  calling the simulators directly (should be negligible);
+* parallel throughput — pool dispatch overhead (with one core, expected
+  to be at par or slightly below serial; scales with cores elsewhere);
+* resumed throughput — store-hit speed: a fully cached campaign should
+  replay orders of magnitude faster than it simulated.
+
+The serial and parallel runs must agree bit-for-bit on every counter.
+"""
+
+from conftest import get_figure
+
+from repro.explore import SweepSpec, open_store, run_sweep
+
+SWEEP = SweepSpec(
+    kernels=["gemm", "atax", "mvt", "bicg", "trisolv"],
+    sizes=["MINI"],
+    l1_sizes=[512, 1024, 2048, 4096],
+    l1_assocs=[4],
+    l1_policies=["lru", "plru"],
+    block_sizes=[16],
+)
+
+
+def _counts(outcome):
+    return {record["key"]: (record["result"]["l1_hits"],
+                            record["result"]["l1_misses"])
+            for record in outcome.records}
+
+
+def test_sweep_throughput(tmp_path):
+    figure = get_figure(
+        "sweep", "exploration-engine throughput (40-point campaign)",
+        ["mode", "points", "simulated", "wall s", "points/s"])
+
+    serial = run_sweep(SWEEP, workers=1)
+    assert serial.errors == 0
+    figure.add_row("serial", serial.total, serial.computed,
+                   round(serial.wall_time, 2),
+                   round(serial.total / serial.wall_time, 1))
+
+    parallel = run_sweep(SWEEP, workers=2)
+    assert parallel.errors == 0
+    assert _counts(serial) == _counts(parallel)
+    figure.add_row("parallel x2", parallel.total, parallel.computed,
+                   round(parallel.wall_time, 2),
+                   round(parallel.total / parallel.wall_time, 1))
+
+    store_path = str(tmp_path / "campaign.jsonl")
+    with open_store(store_path) as store:
+        run_sweep(SWEEP, store=store, workers=1)
+    with open_store(store_path) as store:
+        resumed = run_sweep(SWEEP, store=store, workers=1)
+    assert resumed.computed == 0
+    assert resumed.loaded == resumed.total
+    figure.add_row("resumed (all store hits)", resumed.total, 0,
+                   round(resumed.wall_time, 2),
+                   round(resumed.total / max(resumed.wall_time, 1e-9),
+                         1))

@@ -1,3 +1,54 @@
-from setuptools import setup
+"""Packaging for the repro cache-simulation reproduction.
 
-setup()
+``pip install -e .`` installs the ``repro`` package from ``src/`` and a
+``repro`` console script, removing the need for PYTHONPATH hacks.
+"""
+
+import os
+import re
+
+from setuptools import find_packages, setup
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def read_version() -> str:
+    init = os.path.join(_HERE, "src", "repro", "__init__.py")
+    with open(init, encoding="utf-8") as handle:
+        match = re.search(r'^__version__\s*=\s*"([^"]+)"',
+                          handle.read(), re.M)
+    if not match:
+        raise RuntimeError("repro.__version__ not found")
+    return match.group(1)
+
+
+def read_long_description() -> str:
+    readme = os.path.join(_HERE, "README.md")
+    if not os.path.exists(readme):
+        return ""
+    with open(readme, encoding="utf-8") as handle:
+        return handle.read()
+
+
+setup(
+    name="repro-warping-cache-simulation",
+    version=read_version(),
+    description="Warping cache simulation of polyhedral programs "
+                "(PLDI 2022 reproduction) with a design-space "
+                "exploration engine",
+    long_description=read_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Hardware",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -26,6 +26,19 @@ Package map:
   and a hardware-measurement oracle.
 * :mod:`repro.polybench` — the 30 PolyBench 4.2.1 kernels as SCoPs.
 * :mod:`repro.analysis` — metrics and report tables.
+* :mod:`repro.explore` — parallel, resumable design-space exploration
+  (sweep specs, result stores, Pareto frontiers).
+
+Design-space sweeps::
+
+    from repro import SweepSpec, open_store, run_sweep, pareto_frontier
+
+    spec = SweepSpec(kernels=["gemm", "atax"], sizes=["MINI"],
+                     l1_sizes=[1024, 2048, 4096], l1_assocs=[4],
+                     l1_policies=["lru", "plru"], block_sizes=[32])
+    with open_store("campaign.jsonl") as store:
+        outcome = run_sweep(spec, store=store, workers=4)
+        frontier = pareto_frontier(store.ok_records())
 """
 
 from repro.cache import (
@@ -34,6 +47,16 @@ from repro.cache import (
     CacheHierarchy,
     HierarchyConfig,
     WritePolicy,
+)
+from repro.explore import (
+    SweepOutcome,
+    SweepPoint,
+    SweepSpec,
+    engine_deltas,
+    open_store,
+    pareto_frontier,
+    policy_sensitivity,
+    run_sweep,
 )
 from repro.polybench import build_kernel, all_kernel_names
 from repro.polyhedral import ScopBuilder
@@ -53,9 +76,17 @@ __all__ = [
     "WritePolicy",
     "ScopBuilder",
     "SimulationResult",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepSpec",
     "simulate_nonwarping",
     "simulate_warping",
     "build_kernel",
     "all_kernel_names",
+    "engine_deltas",
+    "open_store",
+    "pareto_frontier",
+    "policy_sensitivity",
+    "run_sweep",
     "__version__",
 ]

@@ -2,7 +2,8 @@
 
 The paper describes its artifact as "a cache simulation tool which takes
 as input the cache parameters and a C program, and outputs cache access
-and miss counts".  This module provides exactly that:
+and miss counts".  This module provides exactly that, plus the
+design-space exploration engine of :mod:`repro.explore`:
 
     python -m repro simulate --source kernel.c \\
         --l1-size 32768 --l1-assoc 8 --l1-policy plru
@@ -13,6 +14,12 @@ and miss counts".  This module provides exactly that:
     python -m repro compare --kernel atax --size MINI \\
         --l1-size 2048 --l1-assoc 8
 
+    python -m repro sweep --kernels gemm,atax --sizes MINI \\
+        --l1-sizes 1024,2048,4096 --l1-policies lru,plru \\
+        --block-sizes 32 --store campaign.jsonl --workers 4
+
+    python -m repro frontier --store campaign.jsonl
+
     python -m repro list-kernels
 """
 
@@ -20,21 +27,33 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Optional
+from typing import List, Optional
 
-from repro.baselines import (
-    haystack_misses,
-    polycache_misses,
-    simulate_dinero,
-)
-from repro.cache.cache import Cache
+from repro.baselines import haystack_misses, polycache_misses
 from repro.cache.config import CacheConfig, HierarchyConfig, WritePolicy
-from repro.cache.hierarchy import CacheHierarchy
+from repro.explore.frontier import (
+    DEFAULT_OBJECTIVES,
+    engine_deltas,
+    pareto_frontier,
+    policy_sensitivity,
+)
+from repro.explore.report import (
+    deltas_table,
+    frontier_table,
+    sensitivity_table,
+    sweep_summary,
+    sweep_table,
+)
+from repro.explore.runner import result_payload, run_engine, run_sweep
+from repro.explore.spec import ENGINES, SweepSpec
+from repro.explore.store import open_store
 from repro.frontend import parse_scop
 from repro.polybench import all_kernel_names, build_kernel, get_kernel
 from repro.polyhedral.model import Scop
-from repro.simulation import simulate_nonwarping, simulate_warping
+
+DEFAULT_STORE = "sweep_results.jsonl"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,12 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "paper's tool)")
     _add_program_args(simulate)
     _add_cache_args(simulate)
-    simulate.add_argument(
-        "--no-warping", action="store_true",
-        help="disable warping (Algorithm 1 semantics)")
-    simulate.add_argument(
-        "--engine", choices=["warping", "tree", "dinero"],
-        default="warping", help="simulation engine (default: warping)")
+    _add_engine_args(simulate, default_engine="warping")
     simulate.add_argument("--json", action="store_true",
                           help="machine-readable output")
 
@@ -63,7 +77,34 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run every model on the same program/cache")
     _add_program_args(compare)
     _add_cache_args(compare)
+    _add_engine_args(compare, default_engine=None)
     compare.add_argument("--json", action="store_true")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a design-space sweep (kernels x caches x "
+                      "policies x engines) with a persistent store")
+    _add_sweep_args(sweep)
+
+    frontier = sub.add_parser(
+        "frontier", help="analyse a stored sweep: Pareto frontier, "
+                         "policy sensitivity, cross-engine deltas")
+    frontier.add_argument("--store", default=DEFAULT_STORE,
+                          help=f"result store path (default "
+                               f"{DEFAULT_STORE})")
+    frontier.add_argument(
+        "--objectives", default=",".join(DEFAULT_OBJECTIVES),
+        help="comma-separated minimised objectives (default "
+             "'capacity,l1_misses'; also: l1_size, miss_rate, "
+             "l2_misses, wall_time)")
+    frontier.add_argument("--per-kernel", action="store_true",
+                          help="compute the frontier per kernel")
+    frontier.add_argument("--sensitivity", action="store_true",
+                          help="print the policy-sensitivity table "
+                               "instead of the frontier")
+    frontier.add_argument("--deltas", action="store_true",
+                          help="print cross-engine accuracy deltas "
+                               "instead of the frontier")
+    frontier.add_argument("--json", action="store_true")
 
     lister = sub.add_parser("list-kernels",
                             help="list the PolyBench kernels")
@@ -99,6 +140,68 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
                         help="write misses do not allocate")
 
 
+def _add_engine_args(parser: argparse.ArgumentParser,
+                     default_engine: Optional[str]) -> None:
+    parser.add_argument(
+        "--no-warping", action="store_true",
+        help="disable warping (Algorithm 1 semantics)")
+    engine_help = ("simulation engine (default: warping)"
+                   if default_engine else
+                   "restrict the comparison to one simulation engine "
+                   "(default: all)")
+    parser.add_argument("--engine", choices=list(ENGINES),
+                        default=default_engine, help=engine_help)
+
+
+def _comma_list(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _comma_ints(text: str) -> List[int]:
+    return [int(item) for item in _comma_list(text)]
+
+
+def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spec", metavar="FILE",
+        help="JSON sweep spec (an object or a list of objects, see "
+             "repro.explore.spec); overrides the grid flags below")
+    parser.add_argument("--kernels", type=_comma_list, default=None,
+                        help="comma-separated kernel names, or 'all'")
+    parser.add_argument("--sizes", type=_comma_list, default=["MINI"],
+                        help="comma-separated size classes")
+    parser.add_argument("--l1-sizes", type=_comma_ints,
+                        default=[32 * 1024],
+                        help="comma-separated L1 capacities in bytes")
+    parser.add_argument("--l1-assocs", type=_comma_ints, default=[8])
+    parser.add_argument("--l1-policies", type=_comma_list,
+                        default=["plru"])
+    parser.add_argument("--block-sizes", type=_comma_ints, default=[64])
+    parser.add_argument("--l2-sizes", type=_comma_ints, default=[0],
+                        help="comma-separated L2 capacities (0 = none)")
+    parser.add_argument("--l2-assocs", type=_comma_ints, default=[16])
+    parser.add_argument("--l2-policies", type=_comma_list,
+                        default=["qlru"])
+    parser.add_argument("--engines", type=_comma_list,
+                        default=["warping"],
+                        help="comma-separated engines "
+                             "(warping, tree, dinero)")
+    parser.add_argument("--no-write-allocate", action="store_true")
+    parser.add_argument("--store", default=DEFAULT_STORE,
+                        help=f"persistent result store "
+                             f"(default {DEFAULT_STORE}; .sqlite/.db "
+                             f"suffix selects the SQLite backend)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default 1 = serial)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-point timeout in seconds")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="re-simulate points already in the store")
+    parser.add_argument("--table", action="store_true",
+                        help="print the per-point result table")
+    parser.add_argument("--json", action="store_true")
+
+
 def load_program(args) -> Scop:
     if args.kernel:
         size = args.size
@@ -126,37 +229,29 @@ def load_config(args):
     return HierarchyConfig(l1, l2)
 
 
-def result_dict(result) -> dict:
-    payload = {
-        "program": result.scop_name,
-        "accesses": result.accesses,
-        "l1_hits": result.l1_hits,
-        "l1_misses": result.l1_misses,
-        "wall_time_s": round(result.wall_time, 6),
-    }
-    if result.l2_hits or result.l2_misses:
-        payload["l2_hits"] = result.l2_hits
-        payload["l2_misses"] = result.l2_misses
-    if result.warp_count:
-        payload["warps"] = result.warp_count
-        payload["warped_accesses"] = result.warped_accesses
-    return payload
+def result_dict(result, has_l2: Optional[bool] = None) -> dict:
+    """JSON payload for a simulation result.
+
+    ``has_l2`` states whether the simulated configuration had a second
+    level; when given, ``l2_hits``/``l2_misses`` are emitted exactly
+    when an L2 exists — even if both counters are zero — so downstream
+    schemas (sweep stores, scripts) stay stable.  ``None`` preserves
+    the legacy behaviour of emitting them only when non-zero.
+    """
+    if has_l2 is None:
+        has_l2 = bool(result.l2_hits or result.l2_misses)
+    return result_payload(result, has_l2=has_l2)
 
 
 def cmd_simulate(args) -> int:
     scop = load_program(args)
     config = load_config(args)
-    if args.engine == "dinero":
-        result = simulate_dinero(scop, config)
-    elif args.engine == "tree" or args.no_warping:
-        target = (CacheHierarchy(config)
-                  if isinstance(config, HierarchyConfig)
-                  else Cache(config))
-        result = simulate_nonwarping(scop, target)
-    else:
-        result = simulate_warping(scop, config)
+    result = run_engine(scop, config, args.engine,
+                        enable_warping=not args.no_warping)
     if args.json:
-        print(json.dumps(result_dict(result), indent=2))
+        print(json.dumps(result_dict(
+            result, has_l2=isinstance(config, HierarchyConfig)),
+            indent=2))
     else:
         print(result)
     return 0
@@ -165,24 +260,138 @@ def cmd_simulate(args) -> int:
 def cmd_compare(args) -> int:
     scop = load_program(args)
     config = load_config(args)
-    l1 = config.l1 if isinstance(config, HierarchyConfig) else config
+    has_l2 = isinstance(config, HierarchyConfig)
+    l1 = config.l1 if has_l2 else config
+    engines = [args.engine] if args.engine else list(ENGINES)
+    # (name, result, models_l2): HayStack models a single FA L1 only,
+    # so it must not report L2 counters in a two-level comparison.
     rows = []
-    warped = simulate_warping(scop, config)
-    rows.append(("warping", warped))
-    target = (CacheHierarchy(config)
-              if isinstance(config, HierarchyConfig) else Cache(config))
-    rows.append(("tree", simulate_nonwarping(scop, target)))
-    rows.append(("dinero", simulate_dinero(scop, config)))
-    rows.append(("haystack (FA LRU)", haystack_misses(scop, l1)))
-    if l1.policy == "lru":
-        rows.append(("polycache", polycache_misses(scop, config)))
+    for engine in engines:
+        name = engine
+        if engine == "warping" and args.no_warping:
+            # Mark the ablation so timings are never misattributed.
+            name = "warping (warping off)"
+        rows.append((name,
+                     run_engine(scop, config, engine,
+                                enable_warping=not args.no_warping),
+                     has_l2))
+    rows.append(("haystack (FA LRU)", haystack_misses(scop, l1), False))
+    # PolyCache models LRU only — at every level of the hierarchy.
+    if l1.policy == "lru" and (not has_l2 or config.l2.policy == "lru"):
+        rows.append(("polycache", polycache_misses(scop, config),
+                     has_l2))
     if args.json:
-        print(json.dumps({name: result_dict(result)
-                          for name, result in rows}, indent=2))
+        print(json.dumps({name: result_dict(result, has_l2=models_l2)
+                          for name, result, models_l2 in rows},
+                         indent=2))
     else:
-        for name, result in rows:
+        for name, result, _ in rows:
             print(f"{name:18s} L1 misses {result.l1_misses:10d}  "
                   f"({result.wall_time * 1000:8.1f} ms)")
+    return 0
+
+
+def _sweep_from_args(args):
+    if args.spec:
+        return SweepSpec.from_file(args.spec)
+    if not args.kernels:
+        raise SystemExit("sweep: provide --spec FILE or --kernels "
+                         "(comma-separated, or 'all')")
+    kernels = (all_kernel_names() if args.kernels == ["all"]
+               else args.kernels)
+    return SweepSpec(
+        kernels=kernels,
+        sizes=args.sizes,
+        l1_sizes=args.l1_sizes,
+        l1_assocs=args.l1_assocs,
+        l1_policies=args.l1_policies,
+        block_sizes=args.block_sizes,
+        l2_sizes=args.l2_sizes,
+        l2_assocs=args.l2_assocs,
+        l2_policies=args.l2_policies,
+        engines=args.engines,
+        write_allocate=not args.no_write_allocate,
+    )
+
+
+def cmd_sweep(args) -> int:
+    stats: dict = {}
+    try:
+        spec = _sweep_from_args(args)
+        points = spec.expand(stats=stats)
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"sweep: {exc}")
+    if not points:
+        raise SystemExit(
+            f"sweep: the grid expands to 0 valid points "
+            f"({stats.get('invalid', 0)} of {stats.get('raw', 0)} "
+            f"combinations have invalid cache geometry, e.g. a "
+            f"capacity not divisible by assoc * block_size)")
+    if stats.get("invalid"):
+        print(f"sweep: note: dropped {stats['invalid']} of "
+              f"{stats['raw']} grid combinations with invalid cache "
+              f"geometry", file=sys.stderr)
+    with open_store(args.store) as store:
+        try:
+            outcome = run_sweep(
+                points, store=store, workers=args.workers,
+                timeout=args.timeout, resume=not args.no_resume)
+        except KeyboardInterrupt:
+            done = len(store.completed_keys())
+            print(f"\nsweep interrupted: {done} points in "
+                  f"{args.store}; re-run the same command to resume",
+                  file=sys.stderr)
+            return 130
+    if args.json:
+        payload = outcome.to_dict()
+        payload["store"] = args.store
+        payload["records"] = outcome.records
+        print(json.dumps(payload, indent=2))
+    else:
+        print(sweep_summary(outcome, store_path=args.store))
+        if args.table:
+            print()
+            print(sweep_table(outcome.ok_records))
+    return 1 if outcome.errors else 0
+
+
+def cmd_frontier(args) -> int:
+    if not os.path.exists(args.store):
+        # frontier is read-only: do not create an empty store file.
+        raise SystemExit(f"frontier: store {args.store!r} does not "
+                         f"exist (run 'repro sweep' first)")
+    with open_store(args.store) as store:
+        records = store.ok_records()
+    if not records:
+        raise SystemExit(f"frontier: no results in store {args.store!r} "
+                         f"(run 'repro sweep' first)")
+    if args.sensitivity:
+        rows = policy_sensitivity(records)
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(sensitivity_table(rows))
+        return 0
+    if args.deltas:
+        rows = engine_deltas(records)
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(deltas_table(rows))
+        return 0
+    objectives = _comma_list(args.objectives)
+    if not objectives:
+        raise SystemExit("frontier: --objectives must name at least "
+                         "one objective")
+    try:
+        frontier = pareto_frontier(records, objectives,
+                                   group_by_kernel=args.per_kernel)
+    except ValueError as exc:
+        raise SystemExit(f"frontier: {exc}")
+    if args.json:
+        print(json.dumps(frontier, indent=2))
+    else:
+        print(frontier_table(frontier, objectives))
     return 0
 
 
@@ -207,11 +416,23 @@ def cmd_list_kernels(args) -> int:
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "simulate":
-        return cmd_simulate(args)
-    if args.command == "compare":
-        return cmd_compare(args)
-    return cmd_list_kernels(args)
+    try:
+        if args.command == "simulate":
+            return cmd_simulate(args)
+        if args.command == "compare":
+            return cmd_compare(args)
+        if args.command == "sweep":
+            return cmd_sweep(args)
+        if args.command == "frontier":
+            return cmd_frontier(args)
+        return cmd_list_kernels(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro frontier | head`).
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

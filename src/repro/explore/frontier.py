@@ -1,0 +1,217 @@
+"""Analysis of stored sweep results: Pareto frontiers and sensitivity.
+
+The input everywhere is a list of *store records* (see
+:mod:`repro.explore.store`) with ``status="ok"``.  Three views:
+
+* :func:`pareto_frontier` — the non-dominated set under a tuple of
+  minimised objectives (default: total capacity vs. L1 miss count),
+  i.e. the cheapest cache achieving each attainable miss level.
+* :func:`policy_sensitivity` — per (kernel, policy) aggregate miss
+  rates plus the per-kernel min→max spread across policies, answering
+  "how much does the replacement policy matter for this workload?".
+* :func:`engine_deltas` — cross-engine accuracy deltas: for every
+  (program, cache) point simulated by more than one engine, the
+  absolute and relative L1-miss error against a reference engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import absolute_error, relative_error
+
+def _l2_misses(record: dict) -> float:
+    # Single-level points carry no l2 counters at all.  Defaulting them
+    # to 0 would let every L1-only configuration dominate all genuine
+    # hierarchies in a mixed store, so they are rejected instead.
+    try:
+        return record["result"]["l2_misses"]
+    except KeyError:
+        raise ValueError(
+            f"objective 'l2_misses' needs two-level records, but "
+            f"{record['point'].get('kernel', '?')} @ "
+            f"{record['point'].get('l1_size', '?')}B has no L2; "
+            "filter the sweep to l2_size > 0 first") from None
+
+
+#: objective name -> function(record) -> numeric value to *minimise*
+OBJECTIVES: Dict[str, Callable[[dict], float]] = {
+    "capacity": lambda r: (r["point"]["l1_size"]
+                           + r["point"].get("l2_size", 0)),
+    "l1_size": lambda r: r["point"]["l1_size"],
+    "l1_misses": lambda r: r["result"]["l1_misses"],
+    "l2_misses": _l2_misses,
+    "miss_rate": lambda r: (r["result"]["l1_misses"]
+                            / max(1, r["result"]["accesses"])),
+    "wall_time": lambda r: r["result"]["wall_time_s"],
+}
+
+DEFAULT_OBJECTIVES = ("capacity", "l1_misses")
+
+
+def objective_values(record: dict,
+                     objectives: Sequence[str]) -> Tuple[float, ...]:
+    """The record's value under each named objective."""
+    try:
+        extractors = [OBJECTIVES[name] for name in objectives]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown objective {exc.args[0]!r}; "
+            f"available: {sorted(OBJECTIVES)}") from None
+    return tuple(extractor(record) for extractor in extractors)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if ``a`` is no worse than ``b`` everywhere and better once."""
+    return (all(x <= y for x, y in zip(a, b))
+            and any(x < y for x, y in zip(a, b)))
+
+
+def pareto_frontier(records: Sequence[dict],
+                    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                    group_by_kernel: bool = False) -> List[dict]:
+    """The Pareto-optimal records under the given minimised objectives.
+
+    With ``group_by_kernel`` the frontier is computed per kernel (a
+    gemm point never dominates an atax point).  Ties (identical
+    objective vectors) all stay on the frontier.  Configs simulated by
+    several engines count once (see :func:`_dedupe_engines`).  The
+    result is sorted by kernel, then by the objective tuple.
+    """
+    groups: Dict[str, List[dict]] = {}
+    for record in _dedupe_engines(records):
+        group = record["point"]["kernel"] if group_by_kernel else ""
+        groups.setdefault(group, []).append(record)
+
+    frontier: List[dict] = []
+    for group_records in groups.values():
+        # Lexicographic order makes dominance one-directional: if a
+        # dominates b then a sorts before b (a <= b componentwise and
+        # equal tuples never dominate).  Scanning in that order, each
+        # record needs checking only against the frontier kept so far —
+        # output-sensitive O(n log n + n * |frontier|) instead of the
+        # all-pairs O(n^2).
+        decorated = sorted(
+            ((objective_values(r, objectives), r)
+             for r in group_records),
+            key=lambda pair: pair[0])
+        kept_values: List[Tuple[float, ...]] = []
+        for values, record in decorated:
+            if not any(dominates(kept, values)
+                       for kept in kept_values):
+                kept_values.append(values)
+                frontier.append(record)
+    frontier.sort(key=lambda r: (r["point"]["kernel"],
+                                 objective_values(r, objectives)))
+    return frontier
+
+
+def policy_sensitivity(records: Sequence[dict]) -> List[dict]:
+    """Per-kernel replacement-policy sensitivity rows.
+
+    Groups records by (kernel, L1 policy), averages the L1 miss rate of
+    each group, and emits one row per kernel with the per-policy rates
+    and the min→max spread.  Configs simulated by several engines count
+    once, so they are not over-weighted in the averages.  Rows sort by
+    descending spread, so the most policy-sensitive workloads come
+    first.
+    """
+    rates: Dict[Tuple[str, str], List[float]] = {}
+    for record in _dedupe_engines(records):
+        point, result = record["point"], record["result"]
+        rate = result["l1_misses"] / max(1, result["accesses"])
+        rates.setdefault((point["kernel"], point["l1_policy"]),
+                         []).append(rate)
+
+    kernels: Dict[str, Dict[str, float]] = {}
+    for (kernel, policy), values in rates.items():
+        kernels.setdefault(kernel, {})[policy] = (
+            sum(values) / len(values))
+
+    rows = []
+    for kernel, by_policy in kernels.items():
+        best = min(by_policy.values())
+        worst = max(by_policy.values())
+        rows.append({
+            "kernel": kernel,
+            "policies": dict(sorted(by_policy.items())),
+            "best_policy": min(by_policy, key=by_policy.get),
+            "worst_policy": max(by_policy, key=by_policy.get),
+            "spread": worst - best,
+        })
+    rows.sort(key=lambda row: (-row["spread"], row["kernel"]))
+    return rows
+
+
+def _program_cache_key(point: dict) -> Tuple:
+    """Identity of a point with the engine axis removed."""
+    return tuple(sorted(
+        (k, tuple(sorted(v.items())) if isinstance(v, dict) else v)
+        for k, v in point.items() if k != "engine"))
+
+
+def _dedupe_engines(records: Sequence[dict]) -> List[dict]:
+    """One record per (program, cache) config, collapsing the engine axis.
+
+    The engines are exact (identical hit/miss counts), so a config
+    simulated by several engines would otherwise appear once per engine
+    in frontiers and be over-weighted in sensitivity averages.  The
+    ``warping`` record is preferred when present (the paper's engine);
+    otherwise the first one seen wins.
+    """
+    chosen: Dict[Tuple, dict] = {}
+    for record in records:
+        key = _program_cache_key(record["point"])
+        current = chosen.get(key)
+        if current is None or (record["point"].get("engine") == "warping"
+                               and current["point"].get("engine")
+                               != "warping"):
+            chosen[key] = record
+    return list(chosen.values())
+
+
+def engine_deltas(records: Sequence[dict],
+                  reference: Optional[str] = None) -> List[dict]:
+    """Cross-engine L1-miss deltas for multiply-simulated points.
+
+    For every (program, cache) configuration that more than one engine
+    simulated, compares each engine's L1 miss count against the
+    reference engine (``warping`` when present, else the first engine
+    seen).  Exact engines should show a delta of 0 everywhere — any
+    non-zero row is a soundness signal.
+    """
+    by_config: Dict[Tuple, Dict[str, dict]] = {}
+    for record in records:
+        config_key = _program_cache_key(record["point"])
+        by_config.setdefault(config_key, {})[
+            record["point"]["engine"]] = record
+
+    rows = []
+    for engines in by_config.values():
+        if len(engines) < 2:
+            continue
+        if reference is not None:
+            if reference not in engines:
+                continue
+            ref_name = reference
+        else:
+            ref_name = ("warping" if "warping" in engines
+                        else sorted(engines)[0])
+        ref = engines[ref_name]
+        for name, record in sorted(engines.items()):
+            if name == ref_name:
+                continue
+            predicted = record["result"]["l1_misses"]
+            actual = ref["result"]["l1_misses"]
+            rows.append({
+                "kernel": record["point"]["kernel"],
+                "engine": name,
+                "reference": ref_name,
+                "l1_misses": predicted,
+                "reference_misses": actual,
+                "abs_error": absolute_error(predicted, actual),
+                "rel_error": relative_error(predicted, actual),
+            })
+    rows.sort(key=lambda row: (-row["abs_error"], row["kernel"],
+                               row["engine"]))
+    return rows

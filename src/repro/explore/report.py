@@ -1,0 +1,96 @@
+"""Text rendering of sweep outcomes and frontier analyses.
+
+Bridges :mod:`repro.explore` to :func:`repro.analysis.format_table` so
+the CLI and examples print the same aligned monospace tables as the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.report import format_table
+from repro.explore.frontier import objective_values
+from repro.explore.runner import SweepOutcome
+
+
+def sweep_summary(outcome: SweepOutcome, store_path: str = "") -> str:
+    """One-paragraph summary of a sweep invocation."""
+    lines = [
+        f"sweep: {outcome.total} points, "
+        f"{outcome.loaded} loaded from store, "
+        f"{outcome.computed} simulated, {outcome.errors} errors "
+        f"({outcome.wall_time:.2f}s)"
+    ]
+    if store_path:
+        lines.append(f"store: {store_path}")
+    return "\n".join(lines)
+
+
+def _point_label(point: dict) -> str:
+    l1 = f"{point['l1_size']}B/{point['l1_assoc']}w/{point['l1_policy']}"
+    if point.get("l2_size"):
+        return (f"{l1} + {point['l2_size']}B/"
+                f"{point['l2_assoc']}w/{point['l2_policy']}")
+    return l1
+
+
+def sweep_table(records: Sequence[dict]) -> str:
+    """Per-point result table for a sweep's successful records."""
+    rows = []
+    for record in records:
+        point, result = record["point"], record["result"]
+        rate = result["l1_misses"] / max(1, result["accesses"])
+        rows.append([
+            point["kernel"], _point_label(point), point["engine"],
+            result["accesses"], result["l1_misses"],
+            f"{100 * rate:.2f}%",
+            f"{result['wall_time_s'] * 1000:.1f}",
+        ])
+    return format_table(
+        ["kernel", "cache", "engine", "accesses", "L1 misses",
+         "miss rate", "ms"],
+        rows, title="sweep results")
+
+
+def frontier_table(records: Sequence[dict],
+                   objectives: Sequence[str]) -> str:
+    """Pareto-frontier table (one row per non-dominated point)."""
+    rows = []
+    for record in records:
+        point = record["point"]
+        values = objective_values(record, objectives)
+        rows.append([point["kernel"], _point_label(point),
+                     point["engine"], *values])
+    return format_table(
+        ["kernel", "cache", "engine", *objectives], rows,
+        title=f"Pareto frontier (minimising {', '.join(objectives)})")
+
+
+def sensitivity_table(rows: List[dict]) -> str:
+    """Replacement-policy sensitivity table."""
+    policies = sorted({policy for row in rows for policy in row["policies"]})
+    table_rows = []
+    for row in rows:
+        cells = [row["kernel"]]
+        for policy in policies:
+            rate = row["policies"].get(policy)
+            cells.append("-" if rate is None else f"{100 * rate:.2f}%")
+        cells.append(f"{100 * row['spread']:.2f}%")
+        cells.append(row["best_policy"])
+        table_rows.append(cells)
+    return format_table(
+        ["kernel", *policies, "spread", "best"], table_rows,
+        title="L1 miss rate by replacement policy")
+
+
+def deltas_table(rows: List[dict]) -> str:
+    """Cross-engine accuracy-delta table."""
+    table_rows = [[row["kernel"], row["engine"], row["reference"],
+                   row["l1_misses"], row["reference_misses"],
+                   row["abs_error"], f"{100 * row['rel_error']:.3f}%"]
+                  for row in rows]
+    return format_table(
+        ["kernel", "engine", "reference", "L1 misses", "ref misses",
+         "abs err", "rel err"],
+        table_rows, title="cross-engine L1-miss deltas")

@@ -1,0 +1,301 @@
+"""Parallel, resumable execution of sweep campaigns.
+
+:func:`run_sweep` fans the points of a sweep out over a
+``multiprocessing`` pool (or runs them inline with ``workers=1``),
+writes every completed point to a :class:`~repro.explore.store.ResultStore`
+as soon as it finishes, and skips points whose content key is already in
+the store.  Because the simulators are deterministic and the points are
+independent, parallel and serial execution produce bit-identical hit and
+miss counts — only ``wall_time`` varies.
+
+Per-point timeouts are enforced *inside* each worker via
+``signal.setitimer`` (SIGALRM), so a diverging point is recorded as
+``status="timeout"`` without killing the pool.  On platforms without
+SIGALRM the timeout degrades to best-effort (the point simply runs to
+completion).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cache.cache import Cache
+from repro.cache.config import HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.explore.spec import SweepPoint, SweepSpec, SweepUnion
+from repro.explore.store import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ResultStore,
+    make_record,
+)
+from repro.simulation.result import SimulationResult
+
+ProgressFn = Callable[[dict], None]
+
+
+@dataclass
+class SweepOutcome:
+    """Summary of one :func:`run_sweep` invocation.
+
+    Attributes:
+        total: points in the sweep.
+        loaded: points skipped because the store already had them.
+        computed: points simulated by this invocation.
+        errors: computed points that failed or timed out.
+        wall_time: end-to-end campaign time in seconds.
+        records: one store record per point, in sweep order.
+    """
+
+    total: int = 0
+    loaded: int = 0
+    computed: int = 0
+    errors: int = 0
+    wall_time: float = 0.0
+    records: List[dict] = field(default_factory=list)
+
+    @property
+    def ok_records(self) -> List[dict]:
+        return [r for r in self.records if r.get("status") == STATUS_OK]
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "loaded": self.loaded,
+            "computed": self.computed,
+            "errors": self.errors,
+            "wall_time_s": round(self.wall_time, 6),
+        }
+
+
+def result_payload(result: SimulationResult, has_l2: bool) -> dict:
+    """Serialise a :class:`SimulationResult` into a stable JSON schema."""
+    payload = {
+        "program": result.scop_name,
+        "accesses": result.accesses,
+        "l1_hits": result.l1_hits,
+        "l1_misses": result.l1_misses,
+        "wall_time_s": round(result.wall_time, 6),
+    }
+    if has_l2:
+        payload["l2_hits"] = result.l2_hits
+        payload["l2_misses"] = result.l2_misses
+    if result.warp_count:
+        payload["warps"] = result.warp_count
+        payload["warped_accesses"] = result.warped_accesses
+    return payload
+
+
+def run_engine(scop, config, engine: str,
+               enable_warping: bool = True) -> SimulationResult:
+    """Dispatch one simulation engine on (scop, config).
+
+    The single engine-name -> simulator mapping, shared by the CLI's
+    ``simulate``/``compare`` and the sweep workers.  For the ``warping``
+    engine, ``enable_warping=False`` runs its ablation mode (symbolic
+    simulation without warping — Algorithm 1 semantics, warp machinery
+    off); the other engines never warp, so the flag is moot there.
+    """
+    # Imported lazily so worker processes pay the cost once each, and so
+    # the module stays importable without pulling every engine in.
+    from repro.baselines import simulate_dinero
+    from repro.simulation import simulate_nonwarping, simulate_warping
+
+    if engine == "dinero":
+        return simulate_dinero(scop, config)
+    if engine == "tree":
+        target = (CacheHierarchy(config)
+                  if isinstance(config, HierarchyConfig)
+                  else Cache(config))
+        return simulate_nonwarping(scop, target)
+    return simulate_warping(scop, config, enable_warping=enable_warping)
+
+
+def simulate_point(point: SweepPoint) -> SimulationResult:
+    """Run one sweep point with its configured engine (no timeout)."""
+    from repro.polybench import build_kernel
+
+    scop = build_kernel(point.kernel, point.size_spec)
+    return run_engine(scop, point.cache_config(), point.engine)
+
+
+class _PointTimeout(Exception):
+    pass
+
+
+# True only while a point is running under a deadline.  The signal can
+# be delivered late — Python may invoke the handler one bytecode after
+# the timer was disarmed — so the handler must ignore stale alarms
+# instead of raising into unrelated code.
+_ALARM_ARMED = False
+
+
+def _alarm_handler(signum, frame):
+    if _ALARM_ARMED:
+        raise _PointTimeout()
+
+
+def _arm_alarm(timeout: float):
+    global _ALARM_ARMED
+    previous = signal.signal(signal.SIGALRM, _alarm_handler)
+    _ALARM_ARMED = True
+    # The interval makes the timer re-fire: Python discards exceptions
+    # raised inside GC callbacks and similar unraisable contexts, so a
+    # single alarm can be swallowed silently.
+    signal.setitimer(signal.ITIMER_REAL, timeout, timeout)
+    return previous
+
+
+def _disarm_alarm() -> None:
+    global _ALARM_ARMED
+    _ALARM_ARMED = False
+    if hasattr(signal, "ITIMER_REAL"):
+        signal.setitimer(signal.ITIMER_REAL, 0)
+
+
+def run_point(point_dict: dict,
+              timeout: Optional[float] = None) -> dict:
+    """Execute one point (given as a dict) and return its store record.
+
+    This is the worker function: it never raises — failures and
+    timeouts come back as records with the corresponding status, so one
+    bad point cannot take down a campaign.
+    """
+    point = SweepPoint.from_dict(point_dict)
+    try:
+        return _run_point_guarded(point, timeout)
+    except _PointTimeout:
+        # An alarm escaped the guarded region (e.g. fired while the
+        # record was being built) — still a timeout, not a crash.
+        _disarm_alarm()
+        return make_record(point, STATUS_TIMEOUT,
+                           error=f"timed out after {timeout}s")
+
+
+def _run_point_guarded(point: SweepPoint,
+                       timeout: Optional[float]) -> dict:
+    use_alarm = (timeout is not None and timeout > 0
+                 and hasattr(signal, "SIGALRM"))
+    previous = None
+    try:
+        # Armed inside the try so an alarm that fires immediately (tiny
+        # timeout under load) is still caught as a timeout record.
+        if use_alarm:
+            try:
+                previous = _arm_alarm(timeout)
+            except ValueError:
+                # signal.signal only works in the main thread of the
+                # main interpreter; degrade to best-effort (no
+                # deadline) as documented instead of erroring out.
+                use_alarm = False
+        result = simulate_point(point)
+        if use_alarm:
+            _disarm_alarm()
+        payload = result_payload(result, has_l2=point.l2_size > 0)
+        return make_record(point, STATUS_OK, result=payload)
+    except _PointTimeout:
+        _disarm_alarm()
+        return make_record(point, STATUS_TIMEOUT,
+                           error=f"timed out after {timeout}s")
+    except Exception as exc:  # noqa: BLE001 — captured into the record
+        _disarm_alarm()
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)).strip()
+        return make_record(point, STATUS_ERROR, error=detail)
+    finally:
+        if use_alarm:
+            _disarm_alarm()
+        if previous is not None:
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _run_point_task(task: Tuple[dict, Optional[float]]) -> dict:
+    point_dict, timeout = task
+    return run_point(point_dict, timeout=timeout)
+
+
+def _as_points(sweep) -> List[SweepPoint]:
+    if isinstance(sweep, (SweepSpec, SweepUnion)):
+        return sweep.expand()
+    return list(sweep)
+
+
+def run_sweep(sweep: Union[SweepSpec, SweepUnion, Sequence[SweepPoint]],
+              store: Optional[ResultStore] = None,
+              workers: int = 1,
+              timeout: Optional[float] = None,
+              resume: bool = True,
+              progress: Optional[ProgressFn] = None) -> SweepOutcome:
+    """Run a sweep, storing results and skipping already-computed points.
+
+    Args:
+        sweep: a spec, a union of specs, or an explicit point list.
+        store: persistent result store; ``None`` keeps results only in
+            the returned outcome.
+        workers: worker processes; ``1`` runs inline (serial).
+        timeout: per-point wall-clock limit in seconds.
+        resume: when True (default), points whose key is in the store
+            with ``status="ok"`` are loaded instead of re-simulated.
+            Failed or timed-out records are always retried.
+        progress: optional callback invoked with each fresh record.
+
+    Returns:
+        A :class:`SweepOutcome`; ``records`` holds one record per point
+        in sweep order, mixing loaded and freshly computed ones.
+    """
+    points = _as_points(sweep)
+    outcome = SweepOutcome()
+    start = time.perf_counter()
+
+    by_key: Dict[str, dict] = {}
+    pending: List[SweepPoint] = []
+    done = (store.completed_keys()
+            if (store is not None and resume) else set())
+    # Content keys are SHA-256 over canonical JSON — compute each once.
+    ordered_keys: List[str] = []
+    seen = set()
+    for point in points:
+        key = point.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        ordered_keys.append(key)
+        if key in done and store is not None:
+            record = store.get(key)
+            if record is not None and record.get("status") == STATUS_OK:
+                by_key[key] = record
+                outcome.loaded += 1
+                continue
+        pending.append(point)
+    outcome.total = len(seen)
+
+    def consume(record: dict) -> None:
+        by_key[record["key"]] = record
+        outcome.computed += 1
+        if record.get("status") != STATUS_OK:
+            outcome.errors += 1
+        if store is not None:
+            store.put(record)
+        if progress is not None:
+            progress(record)
+
+    if pending:
+        if workers > 1:
+            tasks = [(point.to_dict(), timeout) for point in pending]
+            with multiprocessing.Pool(processes=workers) as pool:
+                for record in pool.imap_unordered(_run_point_task, tasks):
+                    consume(record)
+        else:
+            for point in pending:
+                consume(run_point(point.to_dict(), timeout=timeout))
+
+    outcome.records = [by_key[key] for key in ordered_keys
+                       if key in by_key]
+    outcome.wall_time = time.perf_counter() - start
+    return outcome

@@ -1,0 +1,349 @@
+"""Sweep specifications: cartesian design-space grids over simulations.
+
+A :class:`SweepSpec` describes a grid of simulation points — kernels
+crossed with problem sizes, L1/L2 geometries, replacement policies and
+engines.  ``expand()`` materialises the grid as :class:`SweepPoint`
+records, silently dropping combinations with invalid cache geometry
+(e.g. a capacity that is not a multiple of ``assoc * block_size``)
+unless ``strict=True``.
+
+Specs are plain data: they load from JSON (``SweepSpec.from_file``),
+serialise back (``to_dict``), and compose programmatically — ``a | b``
+concatenates two grids, and :func:`expand_specs` unions any number of
+specs while deduplicating points by their content key.
+
+Every point has a stable content-addressed :meth:`SweepPoint.key`
+(SHA-256 over its canonical JSON form), which the result store uses to
+skip already-computed points across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.cache.config import CacheConfig, HierarchyConfig, WritePolicy
+
+ENGINES = ("warping", "tree", "dinero")
+
+SizeSpec = Union[str, Dict[str, int]]
+
+
+def _canonical_size(size: SizeSpec) -> SizeSpec:
+    """Normalise a size spec for hashing (sorted dict or upper-case class)."""
+    if isinstance(size, dict):
+        return {key: int(size[key]) for key in sorted(size)}
+    return str(size).upper()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (program, cache, engine) simulation point of a sweep.
+
+    ``size`` is either a PolyBench size-class name or a parameter dict;
+    dicts are stored as sorted tuples so points stay hashable and their
+    content keys canonical.
+    """
+
+    kernel: str
+    size: Union[str, Tuple[Tuple[str, int], ...]]
+    l1_size: int
+    l1_assoc: int
+    l1_policy: str
+    block_size: int = 64
+    l2_size: int = 0
+    l2_assoc: int = 16
+    l2_policy: str = "qlru"
+    write_allocate: bool = True
+    engine: str = "warping"
+
+    def __post_init__(self):
+        if isinstance(self.size, dict):
+            object.__setattr__(
+                self, "size",
+                tuple(sorted((k, int(v)) for k, v in self.size.items())))
+        elif isinstance(self.size, str):
+            object.__setattr__(self, "size", self.size.upper())
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; use one of {ENGINES}")
+
+    @property
+    def size_spec(self) -> SizeSpec:
+        """The size as :func:`repro.polybench.build_kernel` expects it."""
+        if isinstance(self.size, tuple):
+            return dict(self.size)
+        return self.size
+
+    @property
+    def capacity(self) -> int:
+        """Total cache capacity in bytes (L1 + L2)."""
+        return self.l1_size + self.l2_size
+
+    def cache_config(self) -> Union[CacheConfig, HierarchyConfig]:
+        """The :class:`CacheConfig`/:class:`HierarchyConfig` of the point."""
+        write_policy = (WritePolicy.WRITE_ALLOCATE if self.write_allocate
+                        else WritePolicy.NO_WRITE_ALLOCATE)
+        l1 = CacheConfig(self.l1_size, self.l1_assoc, self.block_size,
+                         self.l1_policy, write_policy=write_policy,
+                         name="L1")
+        if not self.l2_size:
+            return l1
+        l2 = CacheConfig(self.l2_size, self.l2_assoc, self.block_size,
+                         self.l2_policy, write_policy=write_policy,
+                         name="L2")
+        return HierarchyConfig(l1, l2)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "kernel": self.kernel,
+            "size": self.size_spec,
+            "l1_size": self.l1_size,
+            "l1_assoc": self.l1_assoc,
+            "l1_policy": self.l1_policy,
+            "block_size": self.block_size,
+            "engine": self.engine,
+            "write_allocate": self.write_allocate,
+        }
+        if self.l2_size:
+            payload["l2_size"] = self.l2_size
+            payload["l2_assoc"] = self.l2_assoc
+            payload["l2_policy"] = self.l2_policy
+        return payload
+
+    @staticmethod
+    def from_dict(data: dict) -> "SweepPoint":
+        size = data.get("size", "MINI")
+        if isinstance(size, dict):
+            size = _canonical_size(size)
+        return SweepPoint(
+            kernel=data["kernel"],
+            size=size,
+            l1_size=int(data["l1_size"]),
+            l1_assoc=int(data.get("l1_assoc", 8)),
+            l1_policy=data.get("l1_policy", "lru"),
+            block_size=int(data.get("block_size", 64)),
+            l2_size=int(data.get("l2_size", 0)),
+            l2_assoc=int(data.get("l2_assoc", 16)),
+            l2_policy=data.get("l2_policy", "qlru"),
+            write_allocate=bool(data.get("write_allocate", True)),
+            engine=data.get("engine", "warping"),
+        )
+
+    def key(self) -> str:
+        """Content-addressed identity of the point (SHA-256 hex digest).
+
+        Equal points always hash equally regardless of how they were
+        constructed (size dict ordering, spec vs. hand-built, JSON
+        round-trips), so the result store can skip recomputation.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _as_list(value) -> list:
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+@dataclass
+class SweepSpec:
+    """A cartesian grid of :class:`SweepPoint`\\ s.
+
+    Every field is a list of alternatives; ``expand()`` crosses them
+    all.  ``l2_sizes`` defaults to ``[0]`` (no second level).
+    """
+
+    kernels: List[str]
+    sizes: List[SizeSpec] = field(default_factory=lambda: ["MINI"])
+    l1_sizes: List[int] = field(default_factory=lambda: [32 * 1024])
+    l1_assocs: List[int] = field(default_factory=lambda: [8])
+    l1_policies: List[str] = field(default_factory=lambda: ["plru"])
+    block_sizes: List[int] = field(default_factory=lambda: [64])
+    l2_sizes: List[int] = field(default_factory=lambda: [0])
+    l2_assocs: List[int] = field(default_factory=lambda: [16])
+    l2_policies: List[str] = field(default_factory=lambda: ["qlru"])
+    engines: List[str] = field(default_factory=lambda: ["warping"])
+    write_allocate: bool = True
+    name: str = ""
+
+    def __post_init__(self):
+        for attr in ("kernels", "sizes", "l1_sizes", "l1_assocs",
+                     "l1_policies", "block_sizes", "l2_sizes",
+                     "l2_assocs", "l2_policies", "engines"):
+            setattr(self, attr, _as_list(getattr(self, attr)))
+
+    def _l2_combos(self) -> List[Tuple[int, int, str]]:
+        """(size, assoc, policy) L2 combinations of the grid.
+
+        ``l2_size=0`` means no second level, so it contributes a single
+        combination instead of crossing the assoc/policy axes.
+        """
+        combos: List[Tuple[int, int, str]] = []
+        for l2_size in self.l2_sizes:
+            if not l2_size:
+                combos.append((0, self.l2_assocs[0],
+                               self.l2_policies[0]))
+            else:
+                combos.extend(
+                    (int(l2_size), int(assoc), policy)
+                    for assoc in self.l2_assocs
+                    for policy in self.l2_policies)
+        return combos
+
+    def grid_size(self) -> int:
+        """Number of raw grid combinations (before validity filtering)."""
+        counts = [len(self.kernels), len(self.sizes), len(self.l1_sizes),
+                  len(self.l1_assocs), len(self.l1_policies),
+                  len(self.block_sizes), len(self._l2_combos()),
+                  len(self.engines)]
+        total = 1
+        for count in counts:
+            total *= count
+        return total
+
+    def expand(self, strict: bool = False,
+               stats: Optional[Dict[str, int]] = None) -> List[SweepPoint]:
+        """Materialise the grid as a list of valid points.
+
+        Combinations with impossible cache geometry are dropped (or
+        raised when ``strict=True``).  Grids with no L2 don't cross the
+        L2 assoc/policy axes, so ``l2_size=0`` contributes exactly one
+        point per L1 configuration.
+
+        When ``stats`` (a dict) is given, the counters ``raw``,
+        ``invalid`` and ``duplicate`` are accumulated into it so
+        callers can report dropped combinations instead of sweeping a
+        silently smaller grid.
+        """
+        if stats is None:
+            stats = {}
+        for counter in ("raw", "invalid", "duplicate"):
+            stats.setdefault(counter, 0)
+        stats["raw"] += self.grid_size()
+        points: List[SweepPoint] = []
+        seen = set()
+        for (kernel, size, l1_size, l1_assoc, l1_policy, block_size,
+             (l2_size, l2_assoc, l2_policy), engine) in itertools.product(
+                self.kernels, self.sizes, self.l1_sizes, self.l1_assocs,
+                self.l1_policies, self.block_sizes, self._l2_combos(),
+                self.engines):
+            point = SweepPoint(
+                kernel=kernel, size=_canonical_size(size),
+                l1_size=int(l1_size), l1_assoc=int(l1_assoc),
+                l1_policy=l1_policy, block_size=int(block_size),
+                l2_size=int(l2_size), l2_assoc=int(l2_assoc),
+                l2_policy=l2_policy,
+                write_allocate=self.write_allocate, engine=engine,
+            )
+            try:
+                point.cache_config()
+            except ValueError:
+                if strict:
+                    raise
+                stats["invalid"] += 1
+                continue
+            key = point.key()
+            if key in seen:
+                stats["duplicate"] += 1
+                continue
+            seen.add(key)
+            points.append(point)
+        return points
+
+    def __or__(self, other: "SweepSpec") -> "SweepUnion":
+        return SweepUnion([self, other])
+
+    def to_dict(self) -> dict:
+        payload = {
+            "kernels": list(self.kernels),
+            "sizes": list(self.sizes),
+            "l1_sizes": list(self.l1_sizes),
+            "l1_assocs": list(self.l1_assocs),
+            "l1_policies": list(self.l1_policies),
+            "block_sizes": list(self.block_sizes),
+            "l2_sizes": list(self.l2_sizes),
+            "l2_assocs": list(self.l2_assocs),
+            "l2_policies": list(self.l2_policies),
+            "engines": list(self.engines),
+            "write_allocate": self.write_allocate,
+        }
+        if self.name:
+            payload["name"] = self.name
+        return payload
+
+    @staticmethod
+    def from_dict(data: dict) -> "SweepSpec":
+        known = {f for f in SweepSpec.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown sweep spec fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}")
+        if "kernels" not in data:
+            raise ValueError("sweep spec needs a 'kernels' list")
+        return SweepSpec(**data)
+
+    @staticmethod
+    def from_json(text: str) -> Union["SweepSpec", "SweepUnion"]:
+        """Parse a spec (or a list of specs, forming a union) from JSON."""
+        data = json.loads(text)
+        if isinstance(data, list):
+            return SweepUnion([SweepSpec.from_dict(entry)
+                               for entry in data])
+        return SweepSpec.from_dict(data)
+
+    @staticmethod
+    def from_file(path: str) -> Union["SweepSpec", "SweepUnion"]:
+        with open(path) as handle:
+            return SweepSpec.from_json(handle.read())
+
+    def with_engines(self, engines: Sequence[str]) -> "SweepSpec":
+        """A copy of the spec restricted to the given engines."""
+        return replace(self, engines=list(engines))
+
+
+@dataclass
+class SweepUnion:
+    """A composition of several sweep specs (``spec_a | spec_b``)."""
+
+    specs: List[SweepSpec]
+
+    def __or__(self, other) -> "SweepUnion":
+        if isinstance(other, SweepUnion):
+            return SweepUnion(self.specs + other.specs)
+        return SweepUnion(self.specs + [other])
+
+    def grid_size(self) -> int:
+        return sum(spec.grid_size() for spec in self.specs)
+
+    def expand(self, strict: bool = False,
+               stats: Optional[Dict[str, int]] = None) -> List[SweepPoint]:
+        return expand_specs(self.specs, strict=strict, stats=stats)
+
+    def to_dict(self) -> list:
+        return [spec.to_dict() for spec in self.specs]
+
+
+def expand_specs(specs: Iterable[SweepSpec],
+                 strict: bool = False,
+                 stats: Optional[Dict[str, int]] = None
+                 ) -> List[SweepPoint]:
+    """Expand several specs into one deduplicated point list."""
+    points: List[SweepPoint] = []
+    seen = set()
+    for spec in specs:
+        for point in spec.expand(strict=strict, stats=stats):
+            key = point.key()
+            if key in seen:
+                if stats is not None:
+                    stats["duplicate"] += 1
+                continue
+            seen.add(key)
+            points.append(point)
+    return points

@@ -1,0 +1,222 @@
+"""Persistent, content-addressed result stores for sweep campaigns.
+
+A store maps a :meth:`SweepPoint.key` to a *record*::
+
+    {"key": "...", "point": {...}, "status": "ok" | "error" | "timeout",
+     "result": {...} | None, "error": "..." | None}
+
+Two backends share the same interface:
+
+* :class:`JsonlStore` — append-only JSON-lines file.  Every completed
+  point is flushed immediately, so an interrupted campaign loses at most
+  the points that were in flight, and ``--resume`` picks up the rest.
+  Re-running a point appends a newer record; the latest one wins on
+  load (compaction happens on demand via :meth:`JsonlStore.compact`).
+* :class:`SqliteStore` — a single-table SQLite database, for campaigns
+  large enough that a linear JSONL scan on open becomes noticeable.
+
+:func:`open_store` picks the backend from the path suffix
+(``.sqlite`` / ``.sqlite3`` / ``.db`` → SQLite, everything else JSONL).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.explore.spec import SweepPoint
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def make_record(point: SweepPoint, status: str,
+                result: Optional[dict] = None,
+                error: Optional[str] = None) -> dict:
+    """Build a store record for a completed (or failed) point."""
+    return {
+        "key": point.key(),
+        "point": point.to_dict(),
+        "status": status,
+        "result": result,
+        "error": error,
+    }
+
+
+class ResultStore:
+    """Common interface of the sweep result stores."""
+
+    path: str
+
+    def put(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def get(self, key: str) -> Optional[dict]:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        raise NotImplementedError
+
+    def records(self) -> Iterator[dict]:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def completed_keys(self) -> set:
+        """Keys of successfully computed points (status ``ok``)."""
+        return {record["key"] for record in self.records()
+                if record.get("status") == STATUS_OK}
+
+    def ok_records(self) -> List[dict]:
+        """All successful records (the analysis layer's input)."""
+        return [record for record in self.records()
+                if record.get("status") == STATUS_OK]
+
+
+class JsonlStore(ResultStore):
+    """Append-only JSON-lines store with an in-memory index."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._index: Dict[str, dict] = {}
+        if os.path.exists(path):
+            with open(path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A kill/ENOSPC mid-append leaves a torn final
+                        # line; losing that one in-flight point is the
+                        # documented contract — the store must stay
+                        # readable so --resume can recompute it.
+                        continue
+                    self._index[record["key"]] = record
+        # Opened lazily on the first put() so read-only users (frontier,
+        # load_records) never create an empty file at a mistyped path.
+        self._handle = None
+
+    def _writer(self):
+        if self._handle is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a")
+        return self._handle
+
+    def put(self, record: dict) -> None:
+        self._index[record["key"]] = record
+        handle = self._writer()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+
+    def get(self, key: str) -> Optional[dict]:
+        return self._index.get(key)
+
+    def keys(self) -> List[str]:
+        return list(self._index)
+
+    def records(self) -> Iterator[dict]:
+        return iter(list(self._index.values()))
+
+    def compact(self) -> None:
+        """Rewrite the file keeping only the latest record per key."""
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as handle:
+            for record in self._index.values():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.close()
+        os.replace(tmp, self.path)
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+
+class SqliteStore(ResultStore):
+    """SQLite-backed store (one row per point key)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            "  key TEXT PRIMARY KEY,"
+            "  status TEXT NOT NULL,"
+            "  record TEXT NOT NULL"
+            ")")
+        self._conn.commit()
+
+    def put(self, record: dict) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results (key, status, record) "
+            "VALUES (?, ?, ?)",
+            (record["key"], record.get("status", STATUS_OK),
+             json.dumps(record, sort_keys=True)))
+        self._conn.commit()
+
+    def get(self, key: str) -> Optional[dict]:
+        row = self._conn.execute(
+            "SELECT record FROM results WHERE key = ?", (key,)).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def keys(self) -> List[str]:
+        return [row[0] for row in
+                self._conn.execute("SELECT key FROM results")]
+
+    def records(self) -> Iterator[dict]:
+        for row in self._conn.execute("SELECT record FROM results"):
+            yield json.loads(row[0])
+
+    def completed_keys(self) -> set:
+        return {row[0] for row in self._conn.execute(
+            "SELECT key FROM results WHERE status = ?", (STATUS_OK,))}
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def open_store(path: str) -> ResultStore:
+    """Open (creating if needed) the store at ``path``.
+
+    The backend is chosen by suffix: ``.sqlite``/``.sqlite3``/``.db``
+    use SQLite, anything else the JSONL backend.
+    """
+    suffix = os.path.splitext(path)[1].lower()
+    if suffix in _SQLITE_SUFFIXES:
+        return SqliteStore(path)
+    return JsonlStore(path)
+
+
+def load_records(path: str) -> List[dict]:
+    """All successful records from the store at ``path`` (convenience).
+
+    Raises ``FileNotFoundError`` for a missing path rather than
+    silently analysing an empty store.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no sweep store at {path!r}")
+    with open_store(path) as store:
+        return store.ok_records()

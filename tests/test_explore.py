@@ -1,0 +1,626 @@
+"""Tests for the design-space exploration engine (repro.explore)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.explore.frontier import (
+    dominates,
+    engine_deltas,
+    objective_values,
+    pareto_frontier,
+    policy_sensitivity,
+)
+from repro.explore.runner import run_point, run_sweep
+from repro.explore.spec import (
+    SweepPoint,
+    SweepSpec,
+    SweepUnion,
+    expand_specs,
+)
+from repro.explore.store import (
+    STATUS_OK,
+    JsonlStore,
+    SqliteStore,
+    make_record,
+    open_store,
+)
+from repro.simulation.result import SimulationResult
+
+
+def small_spec(**overrides) -> SweepSpec:
+    """A fast two-kernel grid (8 points by default)."""
+    fields = dict(
+        kernels=["mvt", "trisolv"],
+        sizes=[{"N": 16}],
+        l1_sizes=[256, 512],
+        l1_assocs=[4],
+        l1_policies=["lru", "plru"],
+        block_sizes=[16],
+    )
+    fields.update(overrides)
+    return SweepSpec(**fields)
+
+
+# ---------------------------------------------------------------- spec
+
+
+def test_spec_expansion_counts():
+    spec = small_spec()
+    points = spec.expand()
+    assert spec.grid_size() == 8
+    assert len(points) == 8
+    assert len({p.key() for p in points}) == 8
+
+
+def test_expand_skips_invalid_geometry():
+    # 100 bytes is not divisible by assoc * block_size: dropped.
+    spec = small_spec(l1_sizes=[100, 512])
+    points = spec.expand()
+    assert {p.l1_size for p in points} == {512}
+    with pytest.raises(ValueError):
+        spec.expand(strict=True)
+
+
+def test_expand_stats_report_drops():
+    stats = {}
+    spec = small_spec(l1_sizes=[100, 512])   # 100 is invalid geometry
+    points = spec.expand(stats=stats)
+    assert len(points) == 4
+    assert stats["raw"] == 8
+    assert stats["invalid"] == 4
+    assert stats["duplicate"] == 0
+
+
+def test_l2_axes_do_not_multiply_without_l2():
+    spec = small_spec(l2_sizes=[0], l2_assocs=[4, 8, 16],
+                      l2_policies=["lru", "qlru"])
+    # l2_size=0 contributes one combination, not assocs x policies.
+    assert spec.grid_size() == 8
+    assert len(spec.expand()) == 8
+    # A mixed grid: the zero size adds 1, the real size crosses axes.
+    mixed = small_spec(l2_sizes=[0, 8192], l2_assocs=[4, 8],
+                       l2_policies=["lru", "qlru"])
+    assert mixed.grid_size() == 8 * (1 + 4)
+
+
+def test_point_key_canonical():
+    a = SweepPoint("mvt", {"N": 16, "M": 8}, 512, 4, "lru", 16)
+    b = SweepPoint("mvt", {"M": 8, "N": 16}, 512, 4, "lru", 16)
+    assert a.key() == b.key()
+    # JSON round-trip preserves the key.
+    assert SweepPoint.from_dict(a.to_dict()).key() == a.key()
+    # Size classes are case-insensitive.
+    assert (SweepPoint("mvt", "mini", 512, 4, "lru", 16).key()
+            == SweepPoint("mvt", "MINI", 512, 4, "lru", 16).key())
+
+
+def test_point_key_distinguishes_engines():
+    a = SweepPoint("mvt", "MINI", 512, 4, "lru", 16, engine="warping")
+    b = SweepPoint("mvt", "MINI", 512, 4, "lru", 16, engine="tree")
+    assert a.key() != b.key()
+
+
+def test_spec_json_round_trip(tmp_path):
+    spec = small_spec(name="unit")
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    loaded = SweepSpec.from_file(str(path))
+    assert [p.key() for p in loaded.expand()] == \
+           [p.key() for p in spec.expand()]
+
+
+def test_spec_list_forms_union(tmp_path):
+    a = small_spec(kernels=["mvt"])
+    b = small_spec(kernels=["trisolv"])
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps([a.to_dict(), b.to_dict()]))
+    union = SweepSpec.from_file(str(path))
+    assert isinstance(union, SweepUnion)
+    assert len(union.expand()) == 8
+
+
+def test_spec_union_deduplicates():
+    spec = small_spec()
+    union = spec | small_spec(kernels=["mvt", "trisolv"])
+    assert isinstance(union, SweepUnion)
+    assert len(union.expand()) == 8
+    assert len(expand_specs([spec, spec])) == 8
+
+
+def test_spec_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown sweep spec fields"):
+        SweepSpec.from_dict({"kernels": ["mvt"], "l1_size": [512]})
+
+
+def test_spec_requires_kernels():
+    with pytest.raises(ValueError, match="kernels"):
+        SweepSpec.from_dict({"l1_sizes": [512]})
+
+
+# --------------------------------------------------------------- store
+
+
+@pytest.mark.parametrize("suffix,cls", [(".jsonl", JsonlStore),
+                                        (".sqlite", SqliteStore)])
+def test_store_round_trip(tmp_path, suffix, cls):
+    path = str(tmp_path / f"results{suffix}")
+    point = SweepPoint("mvt", {"N": 16}, 512, 4, "lru", 16)
+    record = make_record(point, STATUS_OK,
+                         result={"accesses": 10, "l1_misses": 3})
+    with open_store(path) as store:
+        assert isinstance(store, cls)
+        assert point.key() not in store
+        store.put(record)
+        assert point.key() in store
+        assert store.get(point.key())["result"]["l1_misses"] == 3
+        assert len(store) == 1
+    # Persistence across reopen.
+    with open_store(path) as store:
+        assert store.completed_keys() == {point.key()}
+        assert store.ok_records() == [record]
+
+
+def test_jsonl_store_read_only_open_creates_no_file(tmp_path):
+    path = str(tmp_path / "missing.jsonl")
+    with open_store(path) as store:
+        assert len(store) == 0
+    assert not (tmp_path / "missing.jsonl").exists()
+    from repro.explore.store import load_records
+    with pytest.raises(FileNotFoundError):
+        load_records(path)
+
+
+def test_store_survives_torn_trailing_line(tmp_path):
+    path = str(tmp_path / "results.jsonl")
+    point = SweepPoint("mvt", {"N": 16}, 512, 4, "lru", 16)
+    with open_store(path) as store:
+        store.put(make_record(point, STATUS_OK, result={"l1_misses": 1}))
+    # Simulate a crash mid-append: a torn, undecodable final line.
+    with open(path, "a") as handle:
+        handle.write('{"key": "abc", "point"')
+    with open_store(path) as store:
+        assert store.completed_keys() == {point.key()}
+
+
+def test_store_latest_record_wins(tmp_path):
+    path = str(tmp_path / "results.jsonl")
+    point = SweepPoint("mvt", {"N": 16}, 512, 4, "lru", 16)
+    with open_store(path) as store:
+        store.put(make_record(point, "error", error="boom"))
+        store.put(make_record(point, STATUS_OK, result={"l1_misses": 1}))
+    with open_store(path) as store:
+        assert store.get(point.key())["status"] == STATUS_OK
+        assert len(store) == 1
+        store.compact()
+    assert len(open(path).readlines()) == 1
+
+
+# -------------------------------------------------------------- runner
+
+
+def test_run_point_records_errors():
+    bad = SweepPoint("no-such-kernel", "MINI", 512, 4, "lru", 16)
+    record = run_point(bad.to_dict())
+    assert record["status"] == "error"
+    assert "no-such-kernel" in record["error"]
+
+
+@pytest.mark.skipif(not hasattr(__import__("signal"), "SIGALRM"),
+                    reason="needs SIGALRM")
+def test_run_point_timeout():
+    # MEDIUM gemm takes minutes in pure Python; the deadline is chosen
+    # large enough not to race interpreter startup/GC windows.
+    point = SweepPoint("gemm", "MEDIUM", 512, 4, "lru", 16)
+    record = run_point(point.to_dict(), timeout=0.2)
+    assert record["status"] == "timeout"
+    assert "timed out" in record["error"]
+
+
+def test_parallel_matches_serial(tmp_path):
+    spec = small_spec()
+    serial = run_sweep(spec, workers=1)
+    parallel = run_sweep(spec, workers=2)
+    assert serial.total == parallel.total == 8
+    assert serial.errors == parallel.errors == 0
+
+    def counts(outcome):
+        return {r["key"]: (r["result"]["accesses"],
+                           r["result"]["l1_hits"],
+                           r["result"]["l1_misses"])
+                for r in outcome.records}
+
+    assert counts(serial) == counts(parallel)
+
+
+def test_sweep_resume_skips_completed(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    spec = small_spec()
+    points = spec.expand()
+
+    # "Interrupted" campaign: only the first half completed.
+    with open_store(path) as store:
+        first = run_sweep(points[:4], store=store)
+    assert first.computed == 4
+
+    # Resume: only the remaining half is simulated.
+    with open_store(path) as store:
+        resumed = run_sweep(points, store=store)
+    assert resumed.total == 8
+    assert resumed.loaded == 4
+    assert resumed.computed == 4
+
+    # Full re-run: everything loads, nothing is simulated.
+    with open_store(path) as store:
+        rerun = run_sweep(points, store=store)
+    assert rerun.loaded == 8
+    assert rerun.computed == 0
+    assert len(rerun.records) == 8
+
+
+def test_sweep_retries_failed_points(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    good = SweepPoint("mvt", {"N": 16}, 512, 4, "lru", 16)
+    with open_store(path) as store:
+        store.put(make_record(good, "timeout", error="timed out"))
+        outcome = run_sweep([good], store=store)
+    assert outcome.loaded == 0
+    assert outcome.computed == 1
+    assert outcome.records[0]["status"] == STATUS_OK
+
+
+def test_no_resume_recomputes(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    point = SweepPoint("mvt", {"N": 16}, 512, 4, "lru", 16)
+    with open_store(path) as store:
+        run_sweep([point], store=store)
+        outcome = run_sweep([point], store=store, resume=False)
+    assert outcome.computed == 1 and outcome.loaded == 0
+
+
+def test_sweep_results_include_l2_schema():
+    point = SweepPoint("mvt", {"N": 16}, 512, 4, "lru", 16,
+                       l2_size=2048, l2_assoc=4, l2_policy="lru")
+    record = run_point(point.to_dict())
+    assert record["status"] == STATUS_OK
+    assert "l2_hits" in record["result"]
+    assert "l2_misses" in record["result"]
+
+
+# ------------------------------------------------------------ frontier
+
+
+def _rec(kernel, l1_size, misses, policy="lru", engine="warping",
+         accesses=1000, wall=0.5):
+    point = SweepPoint(kernel, {"N": 16}, l1_size, 1, policy, 16,
+                       engine=engine)
+    return make_record(point, STATUS_OK, result={
+        "program": kernel, "accesses": accesses,
+        "l1_hits": accesses - misses, "l1_misses": misses,
+        "wall_time_s": wall,
+    })
+
+
+def test_dominates():
+    assert dominates((1, 1), (2, 2))
+    assert dominates((1, 2), (1, 3))
+    assert not dominates((1, 1), (1, 1))
+    assert not dominates((1, 3), (2, 2))
+
+
+def test_pareto_frontier_hand_built():
+    records = [
+        _rec("gemm", 256, 900),
+        _rec("gemm", 512, 400),
+        _rec("gemm", 1024, 400),   # dominated: same misses, bigger
+        _rec("gemm", 2048, 100),
+        _rec("gemm", 4096, 300),   # dominated by the 2048 point
+    ]
+    frontier = pareto_frontier(records)
+    sizes = [r["point"]["l1_size"] for r in frontier]
+    assert sizes == [256, 512, 2048]
+
+
+def test_pareto_frontier_per_kernel():
+    records = [
+        _rec("gemm", 512, 400),
+        _rec("atax", 512, 900),    # dominated globally, kept per-kernel
+        _rec("atax", 1024, 100),
+    ]
+    assert len(pareto_frontier(records)) == 2
+    per_kernel = pareto_frontier(records, group_by_kernel=True)
+    assert len(per_kernel) == 3
+
+
+def test_pareto_frontier_matches_brute_force():
+    # Deterministic pseudo-random cloud, checked against the O(n^2)
+    # all-pairs definition.
+    records = []
+    state = 12345
+    for i in range(200):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        misses = 1 + state % 500
+        # Distinct sizes keep every record a distinct cache config.
+        records.append(_rec("gemm", 16 * (i + 1), misses))
+    values = [objective_values(r, ("l1_size", "l1_misses"))
+              for r in records]
+    brute = {id(records[i]) for i in range(len(records))
+             if not any(dominates(values[j], values[i])
+                        for j in range(len(records)) if j != i)}
+    fast = pareto_frontier(records, ("l1_size", "l1_misses"))
+    assert {id(r) for r in fast} == brute
+
+
+def test_pareto_frontier_keeps_ties():
+    # Two *distinct* configs with identical objective values both stay.
+    records = [_rec("gemm", 512, 400, policy="lru"),
+               _rec("gemm", 512, 400, policy="plru"),
+               _rec("gemm", 1024, 100)]
+    assert len(pareto_frontier(records)) == 3
+
+
+def test_frontier_collapses_engine_axis():
+    # One cache config simulated by three exact engines: frontier and
+    # sensitivity must count it once, preferring the warping record.
+    records = [
+        _rec("gemm", 512, 400, engine="tree"),
+        _rec("gemm", 512, 400, engine="warping"),
+        _rec("gemm", 512, 400, engine="dinero"),
+        _rec("gemm", 1024, 100, engine="warping"),
+    ]
+    frontier = pareto_frontier(records)
+    assert len(frontier) == 2
+    assert all(r["point"]["engine"] == "warping" for r in frontier)
+    rows = policy_sensitivity(records)
+    assert rows[0]["policies"]["lru"] == pytest.approx(
+        (400 / 1000 + 100 / 1000) / 2)
+
+
+def test_pareto_frontier_unknown_objective():
+    with pytest.raises(ValueError, match="unknown objective"):
+        pareto_frontier([_rec("gemm", 512, 1)], objectives=["bogus"])
+
+
+def test_policy_sensitivity():
+    records = [
+        _rec("gemm", 512, 400, policy="lru"),
+        _rec("gemm", 512, 100, policy="plru"),
+        _rec("atax", 512, 200, policy="lru"),
+        _rec("atax", 512, 200, policy="plru"),
+    ]
+    rows = policy_sensitivity(records)
+    assert rows[0]["kernel"] == "gemm"       # largest spread first
+    assert rows[0]["best_policy"] == "plru"
+    assert rows[0]["spread"] == pytest.approx(0.3)
+    assert rows[1]["spread"] == pytest.approx(0.0)
+
+
+def test_engine_deltas():
+    records = [
+        _rec("gemm", 512, 400, engine="warping"),
+        _rec("gemm", 512, 410, engine="dinero"),
+        _rec("gemm", 512, 400, engine="tree"),
+        _rec("atax", 512, 100, engine="warping"),  # only one engine
+    ]
+    rows = engine_deltas(records)
+    assert len(rows) == 2
+    assert rows[0]["engine"] == "dinero"
+    assert rows[0]["abs_error"] == 10
+    assert rows[0]["rel_error"] == pytest.approx(10 / 400)
+    assert rows[1]["engine"] == "tree"
+    assert rows[1]["abs_error"] == 0
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def sweep_argv(store):
+    return [
+        "sweep", "--kernels", "mvt,trisolv", "--sizes", "MINI",
+        "--l1-sizes", "256,512", "--l1-policies", "lru",
+        "--l1-assocs", "4", "--block-sizes", "16",
+        "--store", store, "--json",
+    ]
+
+
+def test_cli_sweep_json_and_resume(capsys, tmp_path):
+    store = str(tmp_path / "cli.jsonl")
+    payload = json.loads(run_cli(capsys, sweep_argv(store)))
+    assert payload["total"] == 4
+    assert payload["computed"] == 4
+    assert payload["loaded"] == 0
+    assert len(payload["records"]) == 4
+    assert all(r["status"] == "ok" for r in payload["records"])
+
+    # Re-invoking the same sweep loads everything from the store.
+    payload = json.loads(run_cli(capsys, sweep_argv(store)))
+    assert payload["loaded"] == 4
+    assert payload["computed"] == 0
+
+
+def test_cli_frontier_json(capsys, tmp_path):
+    store = str(tmp_path / "cli.jsonl")
+    run_cli(capsys, sweep_argv(store))
+    frontier = json.loads(run_cli(
+        capsys, ["frontier", "--store", store, "--per-kernel",
+                 "--json"]))
+    assert frontier
+    kernels = {r["point"]["kernel"] for r in frontier}
+    assert kernels == {"mvt", "trisolv"}
+    # Frontier points are mutually non-dominated per kernel.
+    for kernel in kernels:
+        rows = [(r["point"]["l1_size"], r["result"]["l1_misses"])
+                for r in frontier if r["point"]["kernel"] == kernel]
+        assert len({size for size, _ in rows}) == len(rows)
+
+
+def test_cli_sweep_from_spec_file(capsys, tmp_path):
+    store = str(tmp_path / "cli.jsonl")
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(small_spec().to_dict()))
+    payload = json.loads(run_cli(capsys, [
+        "sweep", "--spec", str(spec_path), "--store", store, "--json"]))
+    assert payload["total"] == 8
+
+
+def test_cli_sweep_requires_kernels_or_spec(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--store", str(tmp_path / "x.jsonl")])
+
+
+def test_cli_sweep_empty_grid_is_an_error(tmp_path):
+    with pytest.raises(SystemExit, match="0 valid points"):
+        main(["sweep", "--kernels", "mvt", "--l1-sizes", "100",
+              "--l1-assocs", "4", "--block-sizes", "16",
+              "--store", str(tmp_path / "x.jsonl")])
+
+
+def test_cli_sweep_warns_on_dropped_combinations(capsys, tmp_path):
+    store = str(tmp_path / "x.jsonl")
+    code = main(["sweep", "--kernels", "mvt", "--sizes", "MINI",
+                 "--l1-sizes", "100,512", "--l1-assocs", "4",
+                 "--l1-policies", "lru", "--block-sizes", "16",
+                 "--store", store])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "dropped 1 of 2 grid combinations" in captured.err
+
+
+def test_cli_sweep_rejects_unknown_engine(tmp_path):
+    with pytest.raises(SystemExit, match="unknown engine"):
+        main(["sweep", "--kernels", "mvt", "--engines", "bogus",
+              "--store", str(tmp_path / "x.jsonl")])
+
+
+def test_cli_frontier_is_read_only(tmp_path):
+    missing = str(tmp_path / "nope.jsonl")
+    with pytest.raises(SystemExit, match="does not exist"):
+        main(["frontier", "--store", missing])
+    assert not (tmp_path / "nope.jsonl").exists()
+
+
+def test_cli_frontier_rejects_unknown_objective(capsys, tmp_path):
+    store = str(tmp_path / "cli.jsonl")
+    run_cli(capsys, sweep_argv(store))
+    with pytest.raises(SystemExit, match="unknown objective"):
+        main(["frontier", "--store", store, "--objectives", "bogus"])
+
+
+# ------------------------------------------------ satellite regressions
+
+
+def test_result_dict_emits_l2_when_configured():
+    from repro.cli import result_dict
+
+    result = SimulationResult(scop_name="x", accesses=10, l1_hits=10,
+                              l1_misses=0, l2_hits=0, l2_misses=0)
+    assert "l2_misses" in result_dict(result, has_l2=True)
+    assert "l2_misses" not in result_dict(result, has_l2=False)
+    # Legacy behaviour without the flag: emitted only when non-zero.
+    assert "l2_misses" not in result_dict(result)
+
+
+def test_run_sweep_timeout_degrades_off_main_thread():
+    import threading
+
+    point = SweepPoint("mvt", {"N": 16}, 512, 4, "lru", 16)
+    records = []
+    worker = threading.Thread(
+        target=lambda: records.append(
+            run_point(point.to_dict(), timeout=60)))
+    worker.start()
+    worker.join()
+    assert records[0]["status"] == STATUS_OK
+
+
+def test_cli_sweep_bad_spec_file_clean_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"kernel": ["mvt"]}')
+    with pytest.raises(SystemExit, match="unknown sweep spec fields"):
+        main(["sweep", "--spec", str(bad),
+              "--store", str(tmp_path / "x.jsonl")])
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit):
+        main(["sweep", "--spec", str(bad),
+              "--store", str(tmp_path / "x.jsonl")])
+
+
+def test_l2_misses_objective_rejects_single_level_records():
+    with pytest.raises(ValueError, match="needs two-level records"):
+        pareto_frontier([_rec("gemm", 512, 100)],
+                        objectives=["capacity", "l2_misses"])
+
+
+def test_cli_frontier_rejects_empty_objectives(capsys, tmp_path):
+    store = str(tmp_path / "cli.jsonl")
+    run_cli(capsys, sweep_argv(store))
+    with pytest.raises(SystemExit, match="at least one objective"):
+        main(["frontier", "--store", store, "--objectives", ","])
+
+
+def test_compare_json_two_level_schema(capsys):
+    out = run_cli(capsys, [
+        "compare", "--kernel", "mvt", "--size", '{"N": 16}',
+        "--l1-size", "512", "--l1-assoc", "4",
+        "--l2-size", "2048", "--l2-assoc", "4", "--l2-policy", "lru",
+        "--block-size", "16", "--l1-policy", "lru", "--json",
+    ])
+    payload = json.loads(out)
+    # Engines and PolyCache model the hierarchy; HayStack is L1-only
+    # and must not report L2 counters.
+    for name in ("warping", "tree", "dinero", "polycache"):
+        assert "l2_misses" in payload[name], name
+    assert "l2_misses" not in payload["haystack (FA LRU)"]
+
+
+def test_compare_two_level_non_lru_l2_skips_polycache(capsys):
+    out = run_cli(capsys, [
+        "compare", "--kernel", "mvt", "--size", '{"N": 16}',
+        "--l1-size", "512", "--l1-assoc", "4",
+        "--l2-size", "2048", "--l2-assoc", "4", "--l2-policy", "qlru",
+        "--block-size", "16", "--l1-policy", "lru", "--json",
+    ])
+    payload = json.loads(out)
+    assert "polycache" not in payload
+    assert "warping" in payload
+
+
+def test_compare_honors_engine_flag(capsys, tmp_path):
+    src = tmp_path / "stencil.c"
+    src.write_text("double A[64]; double B[64];\n"
+                   "for (int i = 1; i < 63; i++)\n"
+                   "  B[i] = A[i-1] + A[i];\n")
+    out = run_cli(capsys, [
+        "compare", "--source", str(src), "--engine", "tree",
+        "--l1-size", "512", "--l1-assoc", "4", "--block-size", "16",
+        "--l1-policy", "lru", "--json",
+    ])
+    payload = json.loads(out)
+    assert "tree" in payload
+    assert "warping" not in payload and "dinero" not in payload
+
+
+def test_compare_honors_no_warping(capsys, tmp_path):
+    src = tmp_path / "stencil.c"
+    # Long enough that the warping engine actually warps.
+    src.write_text("double A[600]; double B[600];\n"
+                   "for (int i = 1; i < 599; i++)\n"
+                   "  B[i] = A[i-1] + A[i];\n")
+    base = ["compare", "--source", str(src),
+            "--l1-size", "512", "--l1-assoc", "4", "--block-size", "16",
+            "--l1-policy", "lru", "--json"]
+    with_warp = json.loads(run_cli(capsys, base))
+    without = json.loads(run_cli(capsys, base + ["--no-warping"]))
+    assert "warps" in with_warp["warping"]
+    # The ablation run is labelled explicitly, never as plain "warping".
+    assert "warping" not in without
+    ablation = without["warping (warping off)"]
+    assert "warps" not in ablation
+    assert ablation["l1_misses"] == with_warp["warping"]["l1_misses"]
