@@ -24,7 +24,11 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.config import (
+    CacheConfig,
+    HierarchyConfig,
+    InclusionPolicy,
+)
 
 ALL_KERNELS = [
     "2mm", "3mm", "adi", "atax", "bicg", "cholesky", "correlation",
@@ -114,9 +118,18 @@ def scaled_l2(policy: str = "qlru") -> CacheConfig:
     return CacheConfig(16 * 1024, 16, 32, policy, name="L2")
 
 
-def scaled_hierarchy() -> HierarchyConfig:
-    """Scaled test-system L1+L2 (PLRU + QLRU)."""
-    return HierarchyConfig(scaled_l1(), scaled_l2())
+def scaled_l3(policy: str = "qlru") -> CacheConfig:
+    """The scaled test-system L3 (128 KiB, 16-way, 32 B blocks) —
+    the paper-style 8 MiB L3 at the same 1/16-ish scale as L1/L2."""
+    return CacheConfig(128 * 1024, 16, 32, policy, name="L3")
+
+
+def scaled_hierarchy(depth: int = 2,
+                     inclusion: InclusionPolicy = InclusionPolicy.NINE
+                     ) -> HierarchyConfig:
+    """Scaled test-system hierarchy at depth 2 (L1+L2) or 3 (+L3)."""
+    levels = (scaled_l1(), scaled_l2(), scaled_l3())
+    return HierarchyConfig(levels=levels[:depth], inclusion=inclusion)
 
 
 def polycache_scaled_hierarchy() -> HierarchyConfig:

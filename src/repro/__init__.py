@@ -17,7 +17,7 @@ Package map:
 
 * :mod:`repro.isl` — pure-Python Presburger-lite integer set library.
 * :mod:`repro.cache` — policies (LRU/FIFO/PLRU/QLRU), set-associative
-  caches, two-level hierarchies.
+  caches, N-level hierarchies (NINE/inclusive/exclusive).
 * :mod:`repro.polyhedral` — SCoP trees, arrays, a builder DSL.
 * :mod:`repro.frontend` — mini-C parser for SCoPs (pet substitute).
 * :mod:`repro.simulation` — Algorithm 1 (concrete) and Algorithm 2
@@ -46,6 +46,7 @@ from repro.cache import (
     CacheConfig,
     CacheHierarchy,
     HierarchyConfig,
+    InclusionPolicy,
     WritePolicy,
 )
 from repro.explore import (
@@ -61,6 +62,7 @@ from repro.explore import (
 from repro.polybench import build_kernel, all_kernel_names
 from repro.polyhedral import ScopBuilder
 from repro.simulation import (
+    LevelStats,
     SimulationResult,
     simulate_nonwarping,
     simulate_warping,
@@ -73,6 +75,8 @@ __all__ = [
     "CacheConfig",
     "CacheHierarchy",
     "HierarchyConfig",
+    "InclusionPolicy",
+    "LevelStats",
     "WritePolicy",
     "ScopBuilder",
     "SimulationResult",

@@ -23,13 +23,13 @@ from repro.simulation.trace import TraceEntry, materialize_trace
 
 
 class DineroSimulator:
-    """Trace-driven simulation of a cache or two-level hierarchy."""
+    """Trace-driven simulation of a cache or an N-level hierarchy."""
 
     def __init__(self, config: Union[CacheConfig, HierarchyConfig]):
         self.config = config
         if isinstance(config, HierarchyConfig):
             self.target = CacheHierarchy(config)
-            self.block_size = config.l1.block_size
+            self.block_size = config.block_size
         else:
             self.target = Cache(config)
             self.block_size = config.block_size
@@ -45,14 +45,10 @@ class DineroSimulator:
         result = SimulationResult(scop_name=scop_name, accesses=accesses,
                                   simulated_accesses=accesses,
                                   wall_time=wall_time)
-        if isinstance(self.target, CacheHierarchy):
-            result.l1_hits = self.target.l1.hits
-            result.l1_misses = self.target.l1.misses
-            result.l2_hits = self.target.l2.hits
-            result.l2_misses = self.target.l2.misses
-        else:
-            result.l1_hits = self.target.hits
-            result.l1_misses = self.target.misses
+        caches = (self.target.levels
+                  if isinstance(self.target, CacheHierarchy)
+                  else [self.target])
+        result.set_levels(caches)
         return result
 
 

@@ -33,7 +33,7 @@ from repro.cache.config import CacheConfig, HierarchyConfig
 from repro.cache.hierarchy import CacheHierarchy
 from repro.polyhedral.model import Scop
 from repro.simulation.nonwarping import simulate as simulate_nonwarping
-from repro.simulation.result import SimulationResult
+from repro.simulation.result import LevelStats, SimulationResult
 
 
 def measure_hardware(scop: Scop,
@@ -69,11 +69,15 @@ def measure_hardware(scop: Scop,
     measured = SimulationResult(scop_name=scop.name)
     measured.accesses = result.accesses
     measured.simulated_accesses = result.accesses
-    measured.l1_misses = int(result.l1_misses * factor) + cold
-    measured.l1_hits = result.accesses - measured.l1_misses
-    if result.l2_misses or result.l2_hits:
-        measured.l2_misses = int(result.l2_misses * factor) + cold
-        measured.l2_hits = result.l1_misses - measured.l2_misses
+    # Perturb every level; level k's access count is the (true) miss
+    # count of level k-1, so hits are derived from the true inflow.
+    levels = []
+    inflow = result.accesses
+    for stats in result.levels:
+        misses = int(stats.misses * factor) + cold
+        levels.append(LevelStats(stats.name, inflow - misses, misses))
+        inflow = stats.misses
+    measured.levels = levels
     measured.wall_time = time.perf_counter() - start
     measured.extra = {
         "model": "hardware-oracle",

@@ -10,9 +10,10 @@ per-set results via exact stack distances on the per-set subsequences
 (see DESIGN.md for the substitution rationale).  Like PolyCache, the
 model is restricted to LRU.
 
-For two-level hierarchies the model is applied incrementally: the L2 is
-fed exactly the L1 misses, mirroring PolyCache's level-by-level
-construction for write-allocate non-inclusive non-exclusive hierarchies.
+For hierarchies the model is applied incrementally, level by level: each
+level is fed exactly the misses of the previous one, mirroring
+PolyCache's construction for write-allocate non-inclusive non-exclusive
+hierarchies of any depth.
 """
 
 from __future__ import annotations
@@ -20,9 +21,13 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Tuple, Union
 
-from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.config import (
+    CacheConfig,
+    HierarchyConfig,
+    InclusionPolicy,
+)
 from repro.polyhedral.model import Scop
-from repro.simulation.result import SimulationResult
+from repro.simulation.result import LevelStats, SimulationResult
 from repro.simulation.trace import iter_trace
 from repro.baselines.haystack import lru_stack_misses
 
@@ -93,28 +98,31 @@ def _stack_miss_flags(blocks: List[int], assoc: int
 def polycache_misses(scop: Scop,
                      config: Union[CacheConfig, HierarchyConfig]
                      ) -> SimulationResult:
-    """Model a SCoP on a set-associative LRU cache or L1/L2 hierarchy."""
+    """Model a SCoP on a set-associative LRU cache or NINE hierarchy."""
     start = time.perf_counter()
     if isinstance(config, HierarchyConfig):
-        l1_cfg, l2_cfg = config.l1, config.l2
+        if config.inclusion is not InclusionPolicy.NINE:
+            raise ValueError("the PolyCache model applies to NINE "
+                             "hierarchies only")
+        level_configs = list(config.levels)
     else:
-        l1_cfg, l2_cfg = config, None
-    if l1_cfg.policy != "lru" or (l2_cfg and l2_cfg.policy != "lru"):
+        level_configs = [config]
+    if any(cfg.policy != "lru" for cfg in level_configs):
         raise ValueError("the PolyCache model applies to LRU caches only")
-    blocks = [b for b, _ in iter_trace(scop, l1_cfg.block_size)]
-    l1_misses, flags = _per_set_misses(blocks, l1_cfg)
+    blocks = [b for b, _ in iter_trace(scop, level_configs[0].block_size)]
     result = SimulationResult(
         scop_name=scop.name,
         accesses=len(blocks),
         simulated_accesses=len(blocks),
-        l1_misses=l1_misses,
-        l1_hits=len(blocks) - l1_misses,
         extra={"model": "polycache"},
     )
-    if l2_cfg is not None:
-        l2_stream = [b for b, flag in zip(blocks, flags) if flag]
-        l2_misses, _ = _per_set_misses(l2_stream, l2_cfg)
-        result.l2_misses = l2_misses
-        result.l2_hits = len(l2_stream) - l2_misses
+    # Level by level: each level sees exactly the previous level's misses.
+    stats: List[LevelStats] = []
+    stream = blocks
+    for cfg in level_configs:
+        misses, flags = _per_set_misses(stream, cfg)
+        stats.append(LevelStats(cfg.name, len(stream) - misses, misses))
+        stream = [b for b, flag in zip(stream, flags) if flag]
+    result.levels = stats
     result.wall_time = time.perf_counter() - start
     return result

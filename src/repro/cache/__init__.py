@@ -8,16 +8,21 @@ This subpackage implements the cache substrate of the paper (Section 2):
   policy metadata, never on the identity of cached blocks;
 * single cache sets and set-associative caches with modulo placement
   (:mod:`repro.cache.cache`);
-* two-level non-inclusive non-exclusive hierarchies with write-back /
-  write-allocate and no-write-allocate policies
-  (:mod:`repro.cache.hierarchy`).
+* N-level hierarchies under NINE, inclusive, and exclusive inclusion
+  policies, with write-back / write-allocate and no-write-allocate
+  policies (:mod:`repro.cache.hierarchy`).
 """
 
 from repro.cache.config import (
     CacheConfig,
     HierarchyConfig,
+    InclusionPolicy,
     IndexFunction,
     WritePolicy,
+    test_system_hierarchy,
+    test_system_l1,
+    test_system_l2,
+    test_system_l3,
 )
 from repro.cache.policies import (
     ReplacementPolicy,
@@ -29,9 +34,13 @@ from repro.cache.policies import (
     policy_by_name,
 )
 from repro.cache.cache import CacheSetState, Cache
-from repro.cache.hierarchy import CacheHierarchy, InclusionPolicy
+from repro.cache.hierarchy import CacheHierarchy
 
 __all__ = [
+    "test_system_hierarchy",
+    "test_system_l1",
+    "test_system_l2",
+    "test_system_l3",
     "CacheConfig",
     "IndexFunction",
     "InclusionPolicy",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
 
 
 class WritePolicy(enum.Enum):
@@ -33,6 +34,36 @@ class IndexFunction(enum.Enum):
 
     MODULO = "modulo"
     XOR_FOLD = "xor-fold"
+
+
+class InclusionPolicy(enum.Enum):
+    """How the contents of adjacent hierarchy levels relate.
+
+    The paper's implementation supports NINE (Sec. 2.3) and notes that
+    inclusive and exclusive hierarchies "also satisfy data independence
+    and could be captured in a similar manner"; all three are modelled
+    (see :mod:`repro.cache.hierarchy`).
+    """
+
+    NINE = "non-inclusive non-exclusive"
+    INCLUSIVE = "inclusive"
+    EXCLUSIVE = "exclusive"
+
+    @staticmethod
+    def parse(value: Union["InclusionPolicy", str, None]
+              ) -> "InclusionPolicy":
+        """Coerce an enum member, member name, alias or value string."""
+        if value is None:
+            return InclusionPolicy.NINE
+        if isinstance(value, InclusionPolicy):
+            return value
+        text = str(value).strip().lower()
+        for member in InclusionPolicy:
+            if text in (member.name.lower(), member.value):
+                return member
+        raise ValueError(
+            f"unknown inclusion policy {value!r}; use one of "
+            f"{[m.name.lower() for m in InclusionPolicy]}")
 
 
 @dataclass(frozen=True)
@@ -85,6 +116,10 @@ class CacheConfig:
             return block % self.num_sets
         # XOR-fold: fold the block number into index-width bit groups.
         sets = self.num_sets
+        if sets == 1:
+            # A single set has index width 0; the folding loop below
+            # would never shift ``value`` and spin forever.
+            return 0
         width = sets.bit_length() - 1
         value = block if block >= 0 else -block
         index = 0
@@ -101,21 +136,112 @@ class CacheConfig:
         return CacheConfig(size_bytes, assoc, block_size, policy, name=name)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class HierarchyConfig:
-    """A two-level non-inclusive non-exclusive hierarchy (paper Sec. 2.3)."""
+    """An N-level cache hierarchy (paper Sec. 2.3, generalised).
 
-    l1: CacheConfig
-    l2: CacheConfig
+    ``levels`` orders the caches from the innermost (L1) outwards; the
+    shared rotation-symmetry constraint of appendix A.2 must hold for
+    every adjacent pair (the outer level's set count is a multiple of
+    the inner one's).  ``inclusion`` selects how adjacent levels relate
+    (see :class:`InclusionPolicy`); the paper's implementation is NINE.
 
-    def __post_init__(self):
-        if self.l1.block_size != self.l2.block_size:
-            raise ValueError("L1 and L2 must share a block size")
-        if self.l2.num_sets % self.l1.num_sets != 0:
-            raise ValueError(
-                "L2 set count must be a multiple of the L1 set count "
-                "(required for the shared rotation symmetry, cf. appendix A.2)"
-            )
+    Back-compatible constructors::
+
+        HierarchyConfig(l1_cfg, l2_cfg)              # legacy two-level
+        HierarchyConfig(l1=l1_cfg, l2=l2_cfg)        # legacy keywords
+        HierarchyConfig(l1_cfg, l2_cfg, l3_cfg)      # N positional levels
+        HierarchyConfig(levels=(a, b, c),
+                        inclusion=InclusionPolicy.INCLUSIVE)
+    """
+
+    levels: Tuple[CacheConfig, ...]
+    inclusion: InclusionPolicy = InclusionPolicy.NINE
+
+    def __init__(self, *args,
+                 levels: Optional[Sequence[CacheConfig]] = None,
+                 inclusion: Union[InclusionPolicy, str, None] = None,
+                 l1: Optional[CacheConfig] = None,
+                 l2: Optional[CacheConfig] = None):
+        if levels is not None:
+            if args or l1 is not None or l2 is not None:
+                raise TypeError("pass either 'levels' or individual "
+                                "level configs, not both")
+            configs = list(levels)
+        elif len(args) == 1 and isinstance(args[0], (list, tuple)):
+            if l1 is not None or l2 is not None:
+                raise TypeError("pass either a level sequence or "
+                                "l1/l2 keywords, not both")
+            configs = list(args[0])
+        else:
+            configs = list(args)
+            if l1 is not None:
+                if configs:
+                    raise TypeError("level L1 given both positionally "
+                                    "and as a keyword")
+                configs.append(l1)
+            if l2 is not None:
+                if len(configs) != 1:
+                    raise TypeError("keyword 'l2' needs exactly one "
+                                    "preceding level")
+                configs.append(l2)
+        object.__setattr__(self, "levels", tuple(configs))
+        object.__setattr__(self, "inclusion",
+                           InclusionPolicy.parse(inclusion))
+        self._validate()
+
+    def _validate(self) -> None:
+        if len(self.levels) < 2:
+            raise ValueError("a hierarchy needs at least two levels "
+                             "(use a bare CacheConfig for one)")
+        for level in self.levels:
+            if not isinstance(level, CacheConfig):
+                raise TypeError(f"hierarchy levels must be CacheConfig, "
+                                f"got {type(level).__name__}")
+        # Positional labels: configs may all carry the default name.
+        block_size = self.levels[0].block_size
+        for number, level in enumerate(self.levels[1:], start=2):
+            if level.block_size != block_size:
+                raise ValueError(
+                    f"all hierarchy levels must share a block size "
+                    f"(L1 has {block_size}, L{number} has "
+                    f"{level.block_size})")
+        for number, (inner, outer) in enumerate(
+                zip(self.levels, self.levels[1:]), start=1):
+            if outer.num_sets % inner.num_sets != 0:
+                raise ValueError(
+                    f"L{number + 1} set count ({outer.num_sets}) must "
+                    f"be a multiple of the L{number} set count "
+                    f"({inner.num_sets}) — required for the shared "
+                    f"rotation symmetry, cf. appendix A.2")
+
+    @property
+    def depth(self) -> int:
+        """Number of cache levels."""
+        return len(self.levels)
+
+    @property
+    def block_size(self) -> int:
+        """The (shared) block size of all levels."""
+        return self.levels[0].block_size
+
+    @property
+    def l1(self) -> CacheConfig:
+        return self.levels[0]
+
+    @property
+    def l2(self) -> CacheConfig:
+        return self.levels[1]
+
+    def level(self, index: int) -> CacheConfig:
+        """The config of level ``index`` (0-based: 0 is the L1)."""
+        return self.levels[index]
+
+    def __iter__(self):
+        return iter(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
 
 
 def test_system_l1(policy: str = "plru") -> CacheConfig:
@@ -126,6 +252,27 @@ def test_system_l1(policy: str = "plru") -> CacheConfig:
 def test_system_l2(policy: str = "qlru") -> CacheConfig:
     """The paper's test system L2: 1 MiB, 16-way, 64-byte blocks."""
     return CacheConfig(1024 * 1024, 16, 64, policy, name="L2")
+
+
+def test_system_l3(policy: str = "qlru") -> CacheConfig:
+    """A paper-style L3: 8 MiB, 16-way, 64-byte blocks.
+
+    The paper's Cascade Lake test system has a sliced last-level cache;
+    this models its capacity class with modulo placement so the shared
+    rotation symmetry (and hence warping) extends to depth 3.
+    """
+    return CacheConfig(8 * 1024 * 1024, 16, 64, policy, name="L3")
+
+
+def test_system_hierarchy(
+        depth: int = 2,
+        inclusion: Union[InclusionPolicy, str] = InclusionPolicy.NINE
+) -> HierarchyConfig:
+    """The paper-style test system at hierarchy depth 2 or 3."""
+    if not 2 <= depth <= 3:
+        raise ValueError("test system depth must be 2 or 3")
+    levels = (test_system_l1(), test_system_l2(), test_system_l3())
+    return HierarchyConfig(levels=levels[:depth], inclusion=inclusion)
 
 
 def polycache_hierarchy() -> HierarchyConfig:

@@ -1,21 +1,23 @@
-"""Two-level cache hierarchies (Sec. 2.3, A.2).
+"""N-level cache hierarchies (Sec. 2.3, A.2).
 
 The paper's implementation supports the **non-inclusive non-exclusive**
-(NINE) inclusion policy: the two levels evolve independently — an
-access updates the L1; only on an L1 miss is the L2 accessed and
-updated (Eq. 24).  Nothing is ever forced out of (or into) either level
-to maintain inclusion, which is exactly why data independence lifts to
-the pair (Corollary 5).
+(NINE) inclusion policy: the levels evolve independently — an access
+updates the innermost cache; only on a miss is the next level accessed
+and updated (Eq. 24).  Nothing is ever forced out of (or into) any
+level to maintain inclusion, which is exactly why data independence
+lifts to the whole hierarchy (Corollary 5).
 
 The paper notes that "inclusive and exclusive cache hierarchies also
 satisfy data independence and could be captured in a similar manner";
-this module captures them too:
+this module captures them too, for any number of levels:
 
-* **inclusive**: an L2 eviction back-invalidates the block in the L1
-  (the L1 contents stay a subset of the L2 contents);
-* **exclusive**: the L2 acts as a victim cache — blocks enter the L2
-  only when evicted from the L1, and an L2 hit *moves* the block back
-  to the L1 (at most one level holds a block at a time).
+* **inclusive**: an eviction at level k back-invalidates the block in
+  every level closer to the core (each level's contents stay a subset
+  of the next level's);
+* **exclusive**: the outer levels act as victim caches — blocks enter
+  level k+1 only when evicted from level k, and a hit at an outer level
+  *moves* the block back to the L1 (at most one level holds a block at
+  a time).
 
 All three policies are bijection-compatible (``apply_bijection``), so
 they remain warpable.
@@ -23,38 +25,57 @@ they remain warpable.
 
 from __future__ import annotations
 
-import enum
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.cache.cache import Cache
-from repro.cache.config import HierarchyConfig, WritePolicy
+from repro.cache.config import (
+    HierarchyConfig,
+    InclusionPolicy,
+    WritePolicy,
+)
 
-
-class InclusionPolicy(enum.Enum):
-    """How the contents of the L1 relate to the contents of the L2."""
-
-    NINE = "non-inclusive non-exclusive"
-    INCLUSIVE = "inclusive"
-    EXCLUSIVE = "exclusive"
+__all__ = ["CacheHierarchy", "InclusionPolicy"]
 
 
 class CacheHierarchy:
-    """An L1/L2 hierarchy under a configurable inclusion policy."""
+    """An N-level hierarchy under a configurable inclusion policy."""
 
     def __init__(self, config: HierarchyConfig,
-                 inclusion: InclusionPolicy = InclusionPolicy.NINE):
+                 inclusion: Optional[InclusionPolicy] = None):
         self.config = config
-        self.inclusion = inclusion
-        self.l1 = Cache(config.l1)
-        self.l2 = Cache(config.l2)
+        self.inclusion = (InclusionPolicy.parse(inclusion)
+                          if inclusion is not None
+                          else config.inclusion)
+        self.levels: List[Cache] = [Cache(cfg) for cfg in config.levels]
+        # The dominant access outcome; precomputed so the hot L1-hit
+        # path allocates nothing.
+        self._l1_hit_outcome: Tuple[Optional[bool], ...] = \
+            (True,) + (None,) * (len(self.levels) - 1)
 
-    def access(self, block: int, is_write: bool = False) -> Tuple[bool, Optional[bool]]:
-        """Access a block; returns (l1_hit, l2_hit or None).
+    # -- level accessors (legacy two-level names kept) --------------------------
 
-        ``l2_hit`` is None when the L2 was not consulted (L1 hit, or a
-        write miss under no-write-allocate L1 that still bypasses to L2
-        is *not* modelled — a non-allocating write miss propagates to the
-        next level, where the same write policy applies).
+    @property
+    def l1(self) -> Cache:
+        return self.levels[0]
+
+    @property
+    def l2(self) -> Cache:
+        return self.levels[1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def access(self, block: int, is_write: bool = False
+               ) -> Tuple[Optional[bool], ...]:
+        """Access a block; returns one hit flag per level.
+
+        Entry ``k`` is True/False when level k was consulted and None
+        when it was not (a shallower level hit, or — under exclusion —
+        the block was found before reaching it).  For two-level
+        hierarchies this is the legacy ``(l1_hit, l2_hit or None)``
+        pair.  A write miss under a no-write-allocate level propagates
+        to the next level, where that level's write policy applies.
         """
         if self.inclusion is InclusionPolicy.NINE:
             return self._access_nine(block, is_write)
@@ -62,120 +83,159 @@ class CacheHierarchy:
             return self._access_inclusive(block, is_write)
         return self._access_exclusive(block, is_write)
 
-    def _l1_lookup_and_update(self, block: int, is_write: bool):
-        """L1 access; returns (hit, evicted block or None)."""
+    @staticmethod
+    def _peek_victim(cache: Cache, set_state) -> Optional[int]:
+        """The block the next allocation in ``set_state`` would evict."""
+        occupied = [content is not None for content in set_state.lines]
+        victim_line, _ = cache.policy.on_miss(
+            set_state.policy_state, set_state.assoc, occupied)
+        return set_state.lines[victim_line]
+
+    def _lookup_and_update(self, level_index: int, block: int,
+                           is_write: bool, capture_victim: bool = False):
+        """One level's access; returns (hit, evicted block or None).
+
+        The victim peek costs a second replacement-policy query per
+        allocating miss, so it is only performed when the inclusion
+        policy needs the victim (``capture_victim``).
+        """
+        cache = self.levels[level_index]
         allocate = (not is_write
-                    or self.config.l1.write_policy
+                    or cache.config.write_policy
                     is WritePolicy.WRITE_ALLOCATE)
-        set_state = self.l1.sets[self.config.l1.index_of(block)]
+        set_state = cache.sets[cache.config.index_of(block)]
         victim = None
-        line = set_state.lookup(block)
-        if line is None and allocate:
-            occupied = [content is not None for content in set_state.lines]
-            victim_line, _ = self.l1.policy.on_miss(
-                set_state.policy_state, set_state.assoc, occupied)
-            victim = set_state.lines[victim_line]
-        hit, _ = set_state.access(self.l1.policy, block, allocate)
+        if (capture_victim and allocate
+                and set_state.lookup(block) is None):
+            victim = self._peek_victim(cache, set_state)
+        hit, _ = set_state.access(cache.policy, block, allocate)
         if hit:
-            self.l1.hits += 1
+            cache.hits += 1
         else:
-            self.l1.misses += 1
+            cache.misses += 1
         return hit, victim
 
     def _access_nine(self, block: int, is_write: bool):
-        hit1, _ = self._l1_lookup_and_update(block, is_write)
-        if hit1:
-            return True, None
-        hit2 = self.l2.access(block, is_write)
-        return False, hit2
+        hit, _ = self._lookup_and_update(0, block, is_write)
+        if hit:
+            return self._l1_hit_outcome
+        outcomes: List[Optional[bool]] = [False] + \
+            [None] * (self.depth - 1)
+        for index in range(1, self.depth):
+            hit, _ = self._lookup_and_update(index, block, is_write)
+            outcomes[index] = hit
+            if hit:
+                break
+        return tuple(outcomes)
 
     def _access_inclusive(self, block: int, is_write: bool):
-        hit1, _ = self._l1_lookup_and_update(block, is_write)
-        if hit1:
-            return True, None
-        # L2 access; an L2 eviction back-invalidates the victim in L1.
-        set2 = self.l2.sets[self.config.l2.index_of(block)]
-        allocate = (not is_write
-                    or self.config.l2.write_policy
-                    is WritePolicy.WRITE_ALLOCATE)
-        victim2 = None
-        line2 = set2.lookup(block)
-        if line2 is None and allocate:
-            occupied = [content is not None for content in set2.lines]
-            victim_line, _ = self.l2.policy.on_miss(
-                set2.policy_state, set2.assoc, occupied)
-            victim2 = set2.lines[victim_line]
-        hit2, _ = set2.access(self.l2.policy, block, allocate)
-        if hit2:
-            self.l2.hits += 1
-        else:
-            self.l2.misses += 1
-            if victim2 is not None:
-                self._invalidate_l1(victim2)
-        return False, hit2
+        # A miss descends; an eviction at level k back-invalidates the
+        # victim in every level closer to the core.  (The L1's own
+        # victim is irrelevant, so it is not captured.)
+        hit, _ = self._lookup_and_update(0, block, is_write)
+        if hit:
+            return self._l1_hit_outcome
+        outcomes: List[Optional[bool]] = [False] + \
+            [None] * (self.depth - 1)
+        for index in range(1, self.depth):
+            hit, victim = self._lookup_and_update(
+                index, block, is_write, capture_victim=True)
+            outcomes[index] = hit
+            if not hit and victim is not None:
+                for shallower in self.levels[:index]:
+                    self._invalidate(shallower, victim)
+            if hit:
+                break
+        return tuple(outcomes)
 
     def _access_exclusive(self, block: int, is_write: bool):
-        hit1, victim1 = self._l1_lookup_and_update(block, is_write)
+        hit1, victim = self._lookup_and_update(0, block, is_write,
+                                               capture_victim=True)
         if hit1:
-            return True, None
-        # Exclusive: the L1 victim spills into the L2; an L2 hit moves
-        # the block out of the L2 (it now lives in the L1 only).
-        set2 = self.l2.sets[self.config.l2.index_of(block)]
-        line2 = set2.lookup(block)
-        if line2 is not None:
-            self.l2.hits += 1
-            set2.lines[line2] = None
-            hit2 = True
-        else:
-            self.l2.misses += 1
-            hit2 = False
-        if victim1 is not None:
-            # Victim allocation in the L2 (never re-reads it from L1).
-            victim_set = self.l2.sets[self.config.l2.index_of(victim1)]
-            victim_set.access(self.l2.policy, victim1, True)
-        return False, hit2
+            return self._l1_hit_outcome
+        outcomes: List[Optional[bool]] = [False] + \
+            [None] * (self.depth - 1)
+        # Search outwards; a hit *moves* the block out of that level (it
+        # now lives in the L1 only), so levels beyond it stay untouched.
+        for index in range(1, self.depth):
+            cache = self.levels[index]
+            set_state = cache.sets[cache.config.index_of(block)]
+            line = set_state.lookup(block)
+            if line is not None:
+                cache.hits += 1
+                set_state.lines[line] = None
+                outcomes[index] = True
+                break
+            cache.misses += 1
+            outcomes[index] = False
+        # The L1 victim spills into the L2; the spill's victim cascades
+        # into the L3 and so on (the last level's victim leaves the
+        # hierarchy).  Spills never re-read the block, and they are not
+        # demand accesses, so they do not touch the hit/miss counters.
+        for index in range(1, self.depth):
+            if victim is None:
+                break
+            victim = self._spill(index, victim)
+        return tuple(outcomes)
 
-    def _invalidate_l1(self, block: int) -> None:
-        set1 = self.l1.sets[self.config.l1.index_of(block)]
-        line = set1.lookup(block)
+    def _spill(self, level_index: int, block: int) -> Optional[int]:
+        """Insert an evicted block into a victim level; returns its victim."""
+        cache = self.levels[level_index]
+        set_state = cache.sets[cache.config.index_of(block)]
+        victim = None
+        if set_state.lookup(block) is None:
+            victim = self._peek_victim(cache, set_state)
+        set_state.access(cache.policy, block, True)
+        return victim
+
+    def _invalidate(self, cache: Cache, block: int) -> None:
+        set_state = cache.sets[cache.config.index_of(block)]
+        line = set_state.lookup(block)
         if line is not None:
-            set1.lines[line] = None
+            set_state.lines[line] = None
 
     @property
     def l1_misses(self) -> int:
-        return self.l1.misses
+        return self.levels[0].misses
 
     @property
     def l2_misses(self) -> int:
-        return self.l2.misses
+        return self.levels[1].misses
+
+    @property
+    def level_misses(self) -> Tuple[int, ...]:
+        """Per-level miss counts, innermost first."""
+        return tuple(cache.misses for cache in self.levels)
 
     @property
     def accesses(self) -> int:
-        return self.l1.accesses
+        return self.levels[0].accesses
 
     def reset(self) -> None:
-        self.l1.reset()
-        self.l2.reset()
+        for cache in self.levels:
+            cache.reset()
 
     def clone(self) -> "CacheHierarchy":
         copy = CacheHierarchy.__new__(CacheHierarchy)
         copy.config = self.config
         copy.inclusion = self.inclusion
-        copy.l1 = self.l1.clone()
-        copy.l2 = self.l2.clone()
+        copy.levels = [cache.clone() for cache in self.levels]
+        copy._l1_hit_outcome = self._l1_hit_outcome
         return copy
 
     def state_key(self) -> Tuple:
-        return (self.l1.state_key(), self.l2.state_key())
+        return tuple(cache.state_key() for cache in self.levels)
 
     def apply_bijection(self, pi: Callable[[int], int]) -> "CacheHierarchy":
-        """Apply a block bijection to both levels (Corollary 5)."""
+        """Apply a block bijection to every level (Corollary 5)."""
         copy = CacheHierarchy.__new__(CacheHierarchy)
         copy.config = self.config
         copy.inclusion = self.inclusion
-        copy.l1 = self.l1.apply_bijection(pi)
-        copy.l2 = self.l2.apply_bijection(pi)
+        copy.levels = [cache.apply_bijection(pi) for cache in self.levels]
+        copy._l1_hit_outcome = self._l1_hit_outcome
         return copy
 
     def __repr__(self) -> str:
-        return f"CacheHierarchy(L1={self.l1!r}, L2={self.l2!r})"
+        inner = ", ".join(f"{cache.config.name}={cache!r}"
+                          for cache in self.levels)
+        return f"CacheHierarchy({inner})"

@@ -11,6 +11,10 @@ design-space exploration engine of :mod:`repro.explore`:
     python -m repro simulate --kernel jacobi-2d --size MINI \\
         --l1-size 2048 --l1-assoc 8 --block-size 32 --no-warping
 
+    python -m repro simulate --kernel gemm --size MINI \\
+        --cache L1:32KiB:8:plru --cache L2:1MiB:16:qlru \\
+        --cache L3:8MiB:16:qlru --inclusion nine --json
+
     python -m repro compare --kernel atax --size MINI \\
         --l1-size 2048 --l1-assoc 8
 
@@ -28,16 +32,24 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.baselines import haystack_misses, polycache_misses
-from repro.cache.config import CacheConfig, HierarchyConfig, WritePolicy
+from repro.cache.config import (
+    CacheConfig,
+    HierarchyConfig,
+    InclusionPolicy,
+    WritePolicy,
+)
 from repro.explore.frontier import (
     DEFAULT_OBJECTIVES,
+    OBJECTIVES,
     engine_deltas,
     pareto_frontier,
     policy_sensitivity,
+    resolve_objective,
 )
 from repro.explore.report import (
     deltas_table,
@@ -47,7 +59,7 @@ from repro.explore.report import (
     sweep_table,
 )
 from repro.explore.runner import result_payload, run_engine, run_sweep
-from repro.explore.spec import ENGINES, SweepSpec
+from repro.explore.spec import ENGINES, INCLUSIONS, SweepSpec
 from repro.explore.store import open_store
 from repro.frontend import parse_scop
 from repro.polybench import all_kernel_names, build_kernel, get_kernel
@@ -95,7 +107,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--objectives", default=",".join(DEFAULT_OBJECTIVES),
         help="comma-separated minimised objectives (default "
              "'capacity,l1_misses'; also: l1_size, miss_rate, "
-             "l2_misses, wall_time)")
+             "wall_time, and lN_misses/lN_hits for any hierarchy "
+             "level N, e.g. l3_misses)")
     frontier.add_argument("--per-kernel", action="store_true",
                           help="compute the frontier per kernel")
     frontier.add_argument("--sensitivity", action="store_true",
@@ -124,17 +137,72 @@ def _add_program_args(parser: argparse.ArgumentParser) -> None:
              "or JSON dict of parameters, e.g. '{\"N\": 64}'")
 
 
+POLICY_CHOICES = ["lru", "fifo", "plru", "qlru", "nmru"]
+
+_SIZE_SUFFIXES = {
+    "": 1, "b": 1,
+    "k": 1024, "kb": 1024, "kib": 1024,
+    "m": 1024 ** 2, "mb": 1024 ** 2, "mib": 1024 ** 2,
+    "g": 1024 ** 3, "gb": 1024 ** 3, "gib": 1024 ** 3,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a capacity like '32768', '32KiB' or '1M' into bytes."""
+    match = re.fullmatch(r"\s*(\d+)\s*([a-zA-Z]*)\s*", str(text))
+    if not match or match.group(2).lower() not in _SIZE_SUFFIXES:
+        raise ValueError(
+            f"invalid size {text!r}; use bytes or a KiB/MiB/GiB suffix")
+    return int(match.group(1)) * _SIZE_SUFFIXES[match.group(2).lower()]
+
+
+def parse_level_spec(text: str) -> Tuple[int, int, int, str]:
+    """Parse one ``--cache`` level spec into (level, size, assoc, policy).
+
+    The format is ``LEVEL:SIZE[:ASSOC[:POLICY]]``, e.g. ``L1:32KiB:8:plru``
+    or ``L3:8MiB:16:qlru``; assoc defaults to 8 and policy to ``lru``.
+    """
+    parts = [part.strip() for part in str(text).split(":")]
+    if not 2 <= len(parts) <= 4:
+        raise ValueError(
+            f"invalid level spec {text!r}; expected "
+            f"LEVEL:SIZE[:ASSOC[:POLICY]], e.g. L2:1MiB:16:qlru")
+    match = re.fullmatch(r"[lL](\d+)", parts[0])
+    if not match:
+        raise ValueError(
+            f"invalid level name {parts[0]!r} in {text!r}; use L1, L2, ...")
+    level = int(match.group(1))
+    size = parse_size(parts[1])
+    assoc = int(parts[2]) if len(parts) > 2 else 8
+    policy = parts[3].lower() if len(parts) > 3 else "lru"
+    if policy not in POLICY_CHOICES:
+        raise ValueError(
+            f"unknown policy {policy!r} in {text!r}; "
+            f"use one of {POLICY_CHOICES}")
+    return level, size, assoc, policy
+
+
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", metavar="SPEC", action="append", default=None,
+        help="generic repeatable cache level spec "
+             "LEVEL:SIZE[:ASSOC[:POLICY]], e.g. "
+             "--cache L1:32KiB:8:plru --cache L2:1MiB:16:qlru "
+             "--cache L3:8MiB:16:qlru; overrides the --l1-*/--l2-* "
+             "flags and supports any hierarchy depth")
     parser.add_argument("--l1-size", type=int, default=32 * 1024,
                         help="L1 capacity in bytes (default 32768)")
     parser.add_argument("--l1-assoc", type=int, default=8)
     parser.add_argument("--l1-policy", default="plru",
-                        choices=["lru", "fifo", "plru", "qlru", "nmru"])
+                        choices=POLICY_CHOICES)
     parser.add_argument("--l2-size", type=int, default=0,
                         help="L2 capacity in bytes (0 = no L2)")
     parser.add_argument("--l2-assoc", type=int, default=16)
     parser.add_argument("--l2-policy", default="qlru",
-                        choices=["lru", "fifo", "plru", "qlru", "nmru"])
+                        choices=POLICY_CHOICES)
+    parser.add_argument("--inclusion", default="nine",
+                        choices=list(INCLUSIONS),
+                        help="hierarchy inclusion policy (default nine)")
     parser.add_argument("--block-size", type=int, default=64)
     parser.add_argument("--no-write-allocate", action="store_true",
                         help="write misses do not allocate")
@@ -182,6 +250,17 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--l2-assocs", type=_comma_ints, default=[16])
     parser.add_argument("--l2-policies", type=_comma_list,
                         default=["qlru"])
+    parser.add_argument("--l3-sizes", type=_comma_ints, default=[0],
+                        help="comma-separated L3 capacities (0 = none; "
+                             "an L3 needs an L2)")
+    parser.add_argument("--l3-assocs", type=_comma_ints, default=[16])
+    parser.add_argument("--l3-policies", type=_comma_list,
+                        default=["qlru"])
+    parser.add_argument("--inclusions", type=_comma_list,
+                        default=["nine"],
+                        help="comma-separated inclusion policies "
+                             "(nine, inclusive, exclusive); only "
+                             "crossed for hierarchies (l2_size > 0)")
     parser.add_argument("--engines", type=_comma_list,
                         default=["warping"],
                         help="comma-separated engines "
@@ -218,28 +297,63 @@ def load_config(args):
     write_policy = (WritePolicy.NO_WRITE_ALLOCATE
                     if args.no_write_allocate
                     else WritePolicy.WRITE_ALLOCATE)
+    if args.cache:
+        return _config_from_level_specs(args, write_policy)
     l1 = CacheConfig(args.l1_size, args.l1_assoc, args.block_size,
                      args.l1_policy, write_policy=write_policy,
                      name="L1")
     if not args.l2_size:
+        _reject_single_level_inclusion(args)
         return l1
     l2 = CacheConfig(args.l2_size, args.l2_assoc, args.block_size,
                      args.l2_policy, write_policy=write_policy,
                      name="L2")
-    return HierarchyConfig(l1, l2)
+    return HierarchyConfig(l1, l2, inclusion=args.inclusion)
+
+
+def _reject_single_level_inclusion(args) -> None:
+    """A non-default --inclusion on a single-level config is a mistake,
+    not a no-op: error out instead of silently ignoring it."""
+    if args.inclusion != "nine":
+        raise SystemExit(
+            f"--inclusion {args.inclusion}: inclusion policies need a "
+            f"hierarchy (add an L2 level)")
+
+
+def _config_from_level_specs(args, write_policy):
+    """Build a cache/hierarchy config from repeated ``--cache`` specs."""
+    try:
+        specs = sorted(parse_level_spec(text) for text in args.cache)
+    except ValueError as exc:
+        raise SystemExit(f"--cache: {exc}")
+    numbers = [level for level, *_ in specs]
+    if numbers != list(range(1, len(numbers) + 1)):
+        raise SystemExit(
+            f"--cache: level numbers must be contiguous from L1 "
+            f"(got {['L%d' % n for n in numbers]})")
+    try:
+        levels = tuple(
+            CacheConfig(size, assoc, args.block_size, policy,
+                        write_policy=write_policy, name=f"L{level}")
+            for level, size, assoc, policy in specs
+        )
+        if len(levels) == 1:
+            _reject_single_level_inclusion(args)
+            return levels[0]
+        return HierarchyConfig(levels=levels, inclusion=args.inclusion)
+    except ValueError as exc:
+        raise SystemExit(f"--cache: {exc}")
 
 
 def result_dict(result, has_l2: Optional[bool] = None) -> dict:
     """JSON payload for a simulation result.
 
-    ``has_l2`` states whether the simulated configuration had a second
-    level; when given, ``l2_hits``/``l2_misses`` are emitted exactly
-    when an L2 exists — even if both counters are zero — so downstream
-    schemas (sweep stores, scripts) stay stable.  ``None`` preserves
-    the legacy behaviour of emitting them only when non-zero.
+    Emits one ``lN_hits``/``lN_misses`` pair per configured hierarchy
+    level — even when a level's counters are zero — so downstream
+    schemas (sweep stores, scripts) stay stable.  ``has_l2`` only
+    adjusts results predating per-level stats (see
+    :func:`repro.explore.runner.result_payload`).
     """
-    if has_l2 is None:
-        has_l2 = bool(result.l2_hits or result.l2_misses)
     return result_payload(result, has_l2=has_l2)
 
 
@@ -249,9 +363,7 @@ def cmd_simulate(args) -> int:
     result = run_engine(scop, config, args.engine,
                         enable_warping=not args.no_warping)
     if args.json:
-        print(json.dumps(result_dict(
-            result, has_l2=isinstance(config, HierarchyConfig)),
-            indent=2))
+        print(json.dumps(result_dict(result), indent=2))
     else:
         print(result)
     return 0
@@ -260,11 +372,9 @@ def cmd_simulate(args) -> int:
 def cmd_compare(args) -> int:
     scop = load_program(args)
     config = load_config(args)
-    has_l2 = isinstance(config, HierarchyConfig)
-    l1 = config.l1 if has_l2 else config
+    is_hierarchy = isinstance(config, HierarchyConfig)
+    l1 = config.l1 if is_hierarchy else config
     engines = [args.engine] if args.engine else list(ENGINES)
-    # (name, result, models_l2): HayStack models a single FA L1 only,
-    # so it must not report L2 counters in a two-level comparison.
     rows = []
     for engine in engines:
         name = engine
@@ -273,19 +383,21 @@ def cmd_compare(args) -> int:
             name = "warping (warping off)"
         rows.append((name,
                      run_engine(scop, config, engine,
-                                enable_warping=not args.no_warping),
-                     has_l2))
-    rows.append(("haystack (FA LRU)", haystack_misses(scop, l1), False))
-    # PolyCache models LRU only — at every level of the hierarchy.
-    if l1.policy == "lru" and (not has_l2 or config.l2.policy == "lru"):
-        rows.append(("polycache", polycache_misses(scop, config),
-                     has_l2))
+                                enable_warping=not args.no_warping)))
+    # HayStack models a single FA L1 only, so its result carries no
+    # outer-level counters in a hierarchy comparison.
+    rows.append(("haystack (FA LRU)", haystack_misses(scop, l1)))
+    # PolyCache models NINE LRU only — at every level of the hierarchy.
+    all_lru = (l1.policy == "lru" if not is_hierarchy
+               else all(cfg.policy == "lru" for cfg in config.levels))
+    if all_lru and (not is_hierarchy
+                    or config.inclusion is InclusionPolicy.NINE):
+        rows.append(("polycache", polycache_misses(scop, config)))
     if args.json:
-        print(json.dumps({name: result_dict(result, has_l2=models_l2)
-                          for name, result, models_l2 in rows},
-                         indent=2))
+        print(json.dumps({name: result_dict(result)
+                          for name, result in rows}, indent=2))
     else:
-        for name, result, _ in rows:
+        for name, result in rows:
             print(f"{name:18s} L1 misses {result.l1_misses:10d}  "
                   f"({result.wall_time * 1000:8.1f} ms)")
     return 0
@@ -309,6 +421,10 @@ def _sweep_from_args(args):
         l2_sizes=args.l2_sizes,
         l2_assocs=args.l2_assocs,
         l2_policies=args.l2_policies,
+        l3_sizes=args.l3_sizes,
+        l3_assocs=args.l3_assocs,
+        l3_policies=args.l3_policies,
+        inclusions=args.inclusions,
         engines=args.engines,
         write_allocate=not args.no_write_allocate,
     )
@@ -356,6 +472,20 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_frontier(args) -> int:
+    # Validate objective names up front — before any store I/O — so a
+    # typo yields a clear message instead of a traceback mid-analysis.
+    objectives = _comma_list(args.objectives)
+    if not objectives:
+        raise SystemExit("frontier: --objectives must name at least "
+                         "one objective")
+    for name in objectives:
+        try:
+            resolve_objective(name)
+        except ValueError:
+            raise SystemExit(
+                f"frontier: unknown objective {name!r}; available: "
+                f"{', '.join(sorted(OBJECTIVES))}, plus lN_misses/"
+                f"lN_hits for any hierarchy level N (e.g. l3_misses)")
     if not os.path.exists(args.store):
         # frontier is read-only: do not create an empty store file.
         raise SystemExit(f"frontier: store {args.store!r} does not "
@@ -379,10 +509,6 @@ def cmd_frontier(args) -> int:
         else:
             print(deltas_table(rows))
         return 0
-    objectives = _comma_list(args.objectives)
-    if not objectives:
-        raise SystemExit("frontier: --objectives must name at least "
-                         "one objective")
     try:
         frontier = pareto_frontier(records, objectives,
                                    group_by_kernel=args.per_kernel)

@@ -42,6 +42,7 @@ from repro.explore.frontier import (
     engine_deltas,
     pareto_frontier,
     policy_sensitivity,
+    resolve_objective,
 )
 from repro.explore.runner import (
     SweepOutcome,
@@ -79,6 +80,7 @@ __all__ = [
     "open_store",
     "pareto_frontier",
     "policy_sensitivity",
+    "resolve_objective",
     "run_point",
     "run_sweep",
     "simulate_point",

@@ -16,31 +16,48 @@ The input everywhere is a list of *store records* (see
 
 from __future__ import annotations
 
+import re
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import absolute_error, relative_error
 
-def _l2_misses(record: dict) -> float:
-    # Single-level points carry no l2 counters at all.  Defaulting them
-    # to 0 would let every L1-only configuration dominate all genuine
-    # hierarchies in a mixed store, so they are rejected instead.
-    try:
-        return record["result"]["l2_misses"]
-    except KeyError:
-        raise ValueError(
-            f"objective 'l2_misses' needs two-level records, but "
-            f"{record['point'].get('kernel', '?')} @ "
-            f"{record['point'].get('l1_size', '?')}B has no L2; "
-            "filter the sweep to l2_size > 0 first") from None
+
+def _level_counter(level: int, counter: str) -> Callable[[dict], float]:
+    """Extractor for a per-level result field such as ``l3_misses``.
+
+    Records lacking the level are rejected rather than defaulted to 0:
+    a shallow configuration would otherwise dominate every genuine
+    hierarchy of that depth in a mixed store.
+    """
+    field = f"l{level}_{counter}"
+    depth_words = {2: "two", 3: "three"}
+    depth = depth_words.get(level, str(level))
+
+    def extract(record: dict) -> float:
+        try:
+            return record["result"][field]
+        except KeyError:
+            raise ValueError(
+                f"objective {field!r} needs {depth}-level records, but "
+                f"{record['point'].get('kernel', '?')} @ "
+                f"{record['point'].get('l1_size', '?')}B has no L{level}; "
+                f"filter the sweep to l{level}_size > 0 first") from None
+
+    return extract
+
+
+def _capacity(record: dict) -> float:
+    point = record["point"]
+    return (point["l1_size"] + point.get("l2_size", 0)
+            + point.get("l3_size", 0))
 
 
 #: objective name -> function(record) -> numeric value to *minimise*
 OBJECTIVES: Dict[str, Callable[[dict], float]] = {
-    "capacity": lambda r: (r["point"]["l1_size"]
-                           + r["point"].get("l2_size", 0)),
+    "capacity": _capacity,
     "l1_size": lambda r: r["point"]["l1_size"],
     "l1_misses": lambda r: r["result"]["l1_misses"],
-    "l2_misses": _l2_misses,
+    "l2_misses": _level_counter(2, "misses"),
     "miss_rate": lambda r: (r["result"]["l1_misses"]
                             / max(1, r["result"]["accesses"])),
     "wall_time": lambda r: r["result"]["wall_time_s"],
@@ -48,16 +65,31 @@ OBJECTIVES: Dict[str, Callable[[dict], float]] = {
 
 DEFAULT_OBJECTIVES = ("capacity", "l1_misses")
 
+#: ``lN_misses``/``lN_hits`` work for any hierarchy depth N >= 1.
+_LEVEL_OBJECTIVE = re.compile(r"^l([1-9]\d*)_(misses|hits)$")
+
+
+def resolve_objective(name: str) -> Callable[[dict], float]:
+    """The extractor for an objective name, or raise ``ValueError``.
+
+    Beyond the static :data:`OBJECTIVES`, any ``lN_misses`` or
+    ``lN_hits`` resolves for arbitrary hierarchy depth N.
+    """
+    extractor = OBJECTIVES.get(name)
+    if extractor is not None:
+        return extractor
+    match = _LEVEL_OBJECTIVE.match(name)
+    if match:
+        return _level_counter(int(match.group(1)), match.group(2))
+    raise ValueError(
+        f"unknown objective {name!r}; available: {sorted(OBJECTIVES)} "
+        f"plus 'lN_misses'/'lN_hits' for any hierarchy level N")
+
 
 def objective_values(record: dict,
                      objectives: Sequence[str]) -> Tuple[float, ...]:
     """The record's value under each named objective."""
-    try:
-        extractors = [OBJECTIVES[name] for name in objectives]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown objective {exc.args[0]!r}; "
-            f"available: {sorted(OBJECTIVES)}") from None
+    extractors = [resolve_objective(name) for name in objectives]
     return tuple(extractor(record) for extractor in extractors)
 
 

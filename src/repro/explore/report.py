@@ -28,11 +28,18 @@ def sweep_summary(outcome: SweepOutcome, store_path: str = "") -> str:
 
 
 def _point_label(point: dict) -> str:
-    l1 = f"{point['l1_size']}B/{point['l1_assoc']}w/{point['l1_policy']}"
-    if point.get("l2_size"):
-        return (f"{l1} + {point['l2_size']}B/"
-                f"{point['l2_assoc']}w/{point['l2_policy']}")
-    return l1
+    parts = [f"{point['l1_size']}B/{point['l1_assoc']}w/"
+             f"{point['l1_policy']}"]
+    for level in (2, 3):
+        if point.get(f"l{level}_size"):
+            parts.append(f"{point[f'l{level}_size']}B/"
+                         f"{point[f'l{level}_assoc']}w/"
+                         f"{point[f'l{level}_policy']}")
+    label = " + ".join(parts)
+    inclusion = point.get("inclusion", "nine")
+    if inclusion != "nine":
+        label += f" [{inclusion}]"
+    return label
 
 
 def sweep_table(records: Sequence[dict]) -> str:

@@ -74,18 +74,32 @@ class SweepOutcome:
         }
 
 
-def result_payload(result: SimulationResult, has_l2: bool) -> dict:
-    """Serialise a :class:`SimulationResult` into a stable JSON schema."""
+def result_payload(result: SimulationResult,
+                   has_l2: Optional[bool] = None) -> dict:
+    """Serialise a :class:`SimulationResult` into a stable JSON schema.
+
+    One ``lN_hits``/``lN_misses`` pair is emitted per level the result
+    reports on — i.e. per configured hierarchy level, even when a
+    level's counters are zero.  ``has_l2`` only adjusts results that
+    predate per-level stats: ``True`` pads a missing second level with
+    zeros, ``False`` truncates to the first level, ``None`` (default)
+    leaves the levels as reported.
+    """
+    levels = list(result.levels)
+    if has_l2 is True and len(levels) < 2:
+        from repro.simulation.result import LevelStats
+
+        levels.append(LevelStats("L2"))
+    elif has_l2 is False:
+        levels = levels[:1]
     payload = {
         "program": result.scop_name,
         "accesses": result.accesses,
-        "l1_hits": result.l1_hits,
-        "l1_misses": result.l1_misses,
-        "wall_time_s": round(result.wall_time, 6),
     }
-    if has_l2:
-        payload["l2_hits"] = result.l2_hits
-        payload["l2_misses"] = result.l2_misses
+    for number, stats in enumerate(levels, start=1):
+        payload[f"l{number}_hits"] = stats.hits
+        payload[f"l{number}_misses"] = stats.misses
+    payload["wall_time_s"] = round(result.wall_time, 6)
     if result.warp_count:
         payload["warps"] = result.warp_count
         payload["warped_accesses"] = result.warped_accesses
@@ -197,7 +211,7 @@ def _run_point_guarded(point: SweepPoint,
         result = simulate_point(point)
         if use_alarm:
             _disarm_alarm()
-        payload = result_payload(result, has_l2=point.l2_size > 0)
+        payload = result_payload(result)
         return make_record(point, STATUS_OK, result=payload)
     except _PointTimeout:
         _disarm_alarm()

@@ -25,9 +25,16 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.cache.config import CacheConfig, HierarchyConfig, WritePolicy
+from repro.cache.config import (
+    CacheConfig,
+    HierarchyConfig,
+    InclusionPolicy,
+    WritePolicy,
+)
 
 ENGINES = ("warping", "tree", "dinero")
+
+INCLUSIONS = ("nine", "inclusive", "exclusive")
 
 SizeSpec = Union[str, Dict[str, int]]
 
@@ -57,6 +64,10 @@ class SweepPoint:
     l2_size: int = 0
     l2_assoc: int = 16
     l2_policy: str = "qlru"
+    l3_size: int = 0
+    l3_assoc: int = 16
+    l3_policy: str = "qlru"
+    inclusion: str = "nine"
     write_allocate: bool = True
     engine: str = "warping"
 
@@ -70,6 +81,13 @@ class SweepPoint:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; use one of {ENGINES}")
+        if self.inclusion not in INCLUSIONS:
+            raise ValueError(
+                f"unknown inclusion policy {self.inclusion!r}; "
+                f"use one of {INCLUSIONS}")
+        if self.l3_size and not self.l2_size:
+            raise ValueError("an L3 needs an L2 "
+                             "(l3_size set but l2_size is 0)")
 
     @property
     def size_spec(self) -> SizeSpec:
@@ -80,24 +98,39 @@ class SweepPoint:
 
     @property
     def capacity(self) -> int:
-        """Total cache capacity in bytes (L1 + L2)."""
-        return self.l1_size + self.l2_size
+        """Total cache capacity in bytes (all configured levels)."""
+        return self.l1_size + self.l2_size + self.l3_size
+
+    @property
+    def depth(self) -> int:
+        """Number of configured hierarchy levels."""
+        return 1 + bool(self.l2_size) + bool(self.l3_size)
 
     def cache_config(self) -> Union[CacheConfig, HierarchyConfig]:
         """The :class:`CacheConfig`/:class:`HierarchyConfig` of the point."""
         write_policy = (WritePolicy.WRITE_ALLOCATE if self.write_allocate
                         else WritePolicy.NO_WRITE_ALLOCATE)
-        l1 = CacheConfig(self.l1_size, self.l1_assoc, self.block_size,
-                         self.l1_policy, write_policy=write_policy,
-                         name="L1")
-        if not self.l2_size:
-            return l1
-        l2 = CacheConfig(self.l2_size, self.l2_assoc, self.block_size,
-                         self.l2_policy, write_policy=write_policy,
-                         name="L2")
-        return HierarchyConfig(l1, l2)
+        geometry = [(self.l1_size, self.l1_assoc, self.l1_policy)]
+        if self.l2_size:
+            geometry.append((self.l2_size, self.l2_assoc, self.l2_policy))
+        if self.l3_size:
+            geometry.append((self.l3_size, self.l3_assoc, self.l3_policy))
+        levels = [
+            CacheConfig(size, assoc, self.block_size, policy,
+                        write_policy=write_policy,
+                        name=f"L{number}")
+            for number, (size, assoc, policy) in enumerate(geometry, 1)
+        ]
+        if len(levels) == 1:
+            return levels[0]
+        return HierarchyConfig(
+            levels=tuple(levels),
+            inclusion=InclusionPolicy.parse(self.inclusion))
 
     def to_dict(self) -> dict:
+        # Optional axes are emitted only at non-default values so the
+        # content keys of pre-existing points (and hence stored sweep
+        # results) stay valid.
         payload = {
             "kernel": self.kernel,
             "size": self.size_spec,
@@ -112,6 +145,12 @@ class SweepPoint:
             payload["l2_size"] = self.l2_size
             payload["l2_assoc"] = self.l2_assoc
             payload["l2_policy"] = self.l2_policy
+        if self.l3_size:
+            payload["l3_size"] = self.l3_size
+            payload["l3_assoc"] = self.l3_assoc
+            payload["l3_policy"] = self.l3_policy
+        if self.inclusion != "nine":
+            payload["inclusion"] = self.inclusion
         return payload
 
     @staticmethod
@@ -129,6 +168,10 @@ class SweepPoint:
             l2_size=int(data.get("l2_size", 0)),
             l2_assoc=int(data.get("l2_assoc", 16)),
             l2_policy=data.get("l2_policy", "qlru"),
+            l3_size=int(data.get("l3_size", 0)),
+            l3_assoc=int(data.get("l3_assoc", 16)),
+            l3_policy=data.get("l3_policy", "qlru"),
+            inclusion=data.get("inclusion", "nine"),
             write_allocate=bool(data.get("write_allocate", True)),
             engine=data.get("engine", "warping"),
         )
@@ -156,7 +199,9 @@ class SweepSpec:
     """A cartesian grid of :class:`SweepPoint`\\ s.
 
     Every field is a list of alternatives; ``expand()`` crosses them
-    all.  ``l2_sizes`` defaults to ``[0]`` (no second level).
+    all.  ``l2_sizes``/``l3_sizes`` default to ``[0]`` (no second/third
+    level); ``inclusions`` defaults to ``["nine"]`` and, like the L3
+    axes, is only crossed for genuine hierarchies (``l2_size > 0``).
     """
 
     kernels: List[str]
@@ -168,6 +213,10 @@ class SweepSpec:
     l2_sizes: List[int] = field(default_factory=lambda: [0])
     l2_assocs: List[int] = field(default_factory=lambda: [16])
     l2_policies: List[str] = field(default_factory=lambda: ["qlru"])
+    l3_sizes: List[int] = field(default_factory=lambda: [0])
+    l3_assocs: List[int] = field(default_factory=lambda: [16])
+    l3_policies: List[str] = field(default_factory=lambda: ["qlru"])
+    inclusions: List[str] = field(default_factory=lambda: ["nine"])
     engines: List[str] = field(default_factory=lambda: ["warping"])
     write_allocate: bool = True
     name: str = ""
@@ -175,32 +224,64 @@ class SweepSpec:
     def __post_init__(self):
         for attr in ("kernels", "sizes", "l1_sizes", "l1_assocs",
                      "l1_policies", "block_sizes", "l2_sizes",
-                     "l2_assocs", "l2_policies", "engines"):
+                     "l2_assocs", "l2_policies", "l3_sizes",
+                     "l3_assocs", "l3_policies", "inclusions",
+                     "engines"):
             setattr(self, attr, _as_list(getattr(self, attr)))
+        # The L3 and inclusion axes only exist under an L2; requesting
+        # them in a grid that can never have one would otherwise be
+        # silently ignored (the campaign the user asked for would not
+        # be the one that runs).
+        if not any(self.l2_sizes):
+            if any(self.l3_sizes):
+                raise ValueError(
+                    "l3_sizes requested but every l2_size is 0 — "
+                    "an L3 needs an L2")
+            if any(inc != "nine" for inc in self.inclusions):
+                raise ValueError(
+                    "inclusions other than 'nine' requested but every "
+                    "l2_size is 0 — inclusion policies need a "
+                    "hierarchy (l2_size > 0)")
 
-    def _l2_combos(self) -> List[Tuple[int, int, str]]:
-        """(size, assoc, policy) L2 combinations of the grid.
+    def _hierarchy_combos(self) -> List[Tuple[int, int, str,
+                                              int, int, str, str]]:
+        """(l2 size/assoc/policy, l3 size/assoc/policy, inclusion) combos.
 
-        ``l2_size=0`` means no second level, so it contributes a single
-        combination instead of crossing the assoc/policy axes.
+        A zero level size prunes the axes it gates: ``l2_size=0`` means
+        a single-level cache (no L2/L3/inclusion crossing at all) and
+        ``l3_size=0`` a two-level hierarchy (no L3 assoc/policy
+        crossing), so disabled levels contribute exactly one
+        combination instead of inflating the grid.
         """
-        combos: List[Tuple[int, int, str]] = []
+        l3_default = (0, int(self.l3_assocs[0]), self.l3_policies[0])
+        combos: List[Tuple[int, int, str, int, int, str, str]] = []
         for l2_size in self.l2_sizes:
             if not l2_size:
-                combos.append((0, self.l2_assocs[0],
-                               self.l2_policies[0]))
-            else:
-                combos.extend(
-                    (int(l2_size), int(assoc), policy)
-                    for assoc in self.l2_assocs
-                    for policy in self.l2_policies)
+                combos.append((0, int(self.l2_assocs[0]),
+                               self.l2_policies[0], *l3_default, "nine"))
+                continue
+            for l2_assoc in self.l2_assocs:
+                for l2_policy in self.l2_policies:
+                    for inclusion in self.inclusions:
+                        for l3_size in self.l3_sizes:
+                            if not l3_size:
+                                combos.append((
+                                    int(l2_size), int(l2_assoc),
+                                    l2_policy, *l3_default, inclusion))
+                                continue
+                            combos.extend(
+                                (int(l2_size), int(l2_assoc), l2_policy,
+                                 int(l3_size), int(l3_assoc), l3_policy,
+                                 inclusion)
+                                for l3_assoc in self.l3_assocs
+                                for l3_policy in self.l3_policies)
         return combos
 
     def grid_size(self) -> int:
         """Number of raw grid combinations (before validity filtering)."""
         counts = [len(self.kernels), len(self.sizes), len(self.l1_sizes),
                   len(self.l1_assocs), len(self.l1_policies),
-                  len(self.block_sizes), len(self._l2_combos()),
+                  len(self.block_sizes), len(self._hierarchy_combos()),
                   len(self.engines)]
         total = 1
         for count in counts:
@@ -229,16 +310,19 @@ class SweepSpec:
         points: List[SweepPoint] = []
         seen = set()
         for (kernel, size, l1_size, l1_assoc, l1_policy, block_size,
-             (l2_size, l2_assoc, l2_policy), engine) in itertools.product(
+             (l2_size, l2_assoc, l2_policy, l3_size, l3_assoc,
+              l3_policy, inclusion), engine) in itertools.product(
                 self.kernels, self.sizes, self.l1_sizes, self.l1_assocs,
-                self.l1_policies, self.block_sizes, self._l2_combos(),
-                self.engines):
+                self.l1_policies, self.block_sizes,
+                self._hierarchy_combos(), self.engines):
             point = SweepPoint(
                 kernel=kernel, size=_canonical_size(size),
                 l1_size=int(l1_size), l1_assoc=int(l1_assoc),
                 l1_policy=l1_policy, block_size=int(block_size),
                 l2_size=int(l2_size), l2_assoc=int(l2_assoc),
                 l2_policy=l2_policy,
+                l3_size=int(l3_size), l3_assoc=int(l3_assoc),
+                l3_policy=l3_policy, inclusion=inclusion,
                 write_allocate=self.write_allocate, engine=engine,
             )
             try:
@@ -270,6 +354,10 @@ class SweepSpec:
             "l2_sizes": list(self.l2_sizes),
             "l2_assocs": list(self.l2_assocs),
             "l2_policies": list(self.l2_policies),
+            "l3_sizes": list(self.l3_sizes),
+            "l3_assocs": list(self.l3_assocs),
+            "l3_policies": list(self.l3_policies),
+            "inclusions": list(self.inclusions),
             "engines": list(self.engines),
             "write_allocate": self.write_allocate,
         }

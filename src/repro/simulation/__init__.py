@@ -7,8 +7,9 @@
   simulation (Sections 5.1-5.3).
 """
 
-from repro.simulation.result import SimulationResult
+from repro.simulation.result import LevelStats, SimulationResult
 from repro.simulation.nonwarping import simulate as simulate_nonwarping
 from repro.simulation.warping import simulate_warping
 
-__all__ = ["SimulationResult", "simulate_nonwarping", "simulate_warping"]
+__all__ = ["LevelStats", "SimulationResult", "simulate_nonwarping",
+           "simulate_warping"]

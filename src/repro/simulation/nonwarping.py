@@ -15,14 +15,14 @@ from repro.cache.cache import Cache
 from repro.cache.config import WritePolicy
 from repro.cache.hierarchy import CacheHierarchy
 from repro.polyhedral.model import AccessNode, LoopNode, Scop
-from repro.simulation.result import SimulationResult
+from repro.simulation.result import LevelStats, SimulationResult
 
 Target = Union[Cache, CacheHierarchy]
 
 
 def simulate(scop: Scop, target: Target,
               warm_state: bool = False) -> SimulationResult:
-    """Simulate ``scop`` on ``target`` (a cache or two-level hierarchy).
+    """Simulate ``scop`` on ``target`` (a cache or an N-level hierarchy).
 
     The target's current contents are reused when ``warm_state`` is set
     (SCoP simulation may start from any cache state, cf. Sec. 4);
@@ -30,11 +30,9 @@ def simulate(scop: Scop, target: Target,
     """
     if not warm_state:
         target.reset()
-    if isinstance(target, CacheHierarchy):
-        base = (target.l1.hits, target.l1.misses,
-                target.l2.hits, target.l2.misses)
-    else:
-        base = (target.hits, target.misses, 0, 0)
+    caches = (target.levels if isinstance(target, CacheHierarchy)
+              else [target])
+    base = [(cache.hits, cache.misses) for cache in caches]
     start = time.perf_counter()
     runner = _Runner(scop, target)
     for root in scop.roots:
@@ -44,14 +42,11 @@ def simulate(scop: Scop, target: Target,
     result = SimulationResult(scop_name=scop.name, wall_time=elapsed)
     result.accesses = runner.accesses
     result.simulated_accesses = runner.accesses
-    if isinstance(target, CacheHierarchy):
-        result.l1_hits = target.l1.hits - base[0]
-        result.l1_misses = target.l1.misses - base[1]
-        result.l2_hits = target.l2.hits - base[2]
-        result.l2_misses = target.l2.misses - base[3]
-    else:
-        result.l1_hits = target.hits - base[0]
-        result.l1_misses = target.misses - base[1]
+    result.levels = [
+        LevelStats(cache.config.name, cache.hits - hits0,
+                   cache.misses - misses0)
+        for cache, (hits0, misses0) in zip(caches, base)
+    ]
     return result
 
 
@@ -62,7 +57,7 @@ class _Runner:
 
     def __init__(self, scop: Scop, target: Target):
         if isinstance(target, CacheHierarchy):
-            self.block_size = target.config.l1.block_size
+            self.block_size = target.config.block_size
             self._is_hierarchy = True
         else:
             self.block_size = target.config.block_size

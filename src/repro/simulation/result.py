@@ -2,19 +2,39 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
+class LevelStats:
+    """Hit/miss classification counts of one cache level."""
+
+    name: str = "L1"
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Accesses that reached this level."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access reaching this level (0.0 when untouched)."""
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+
 class SimulationResult:
     """Outcome of a cache simulation run.
 
     Attributes:
         scop_name: the simulated SCoP.
         accesses: total dynamic memory accesses accounted for.
-        l1_misses / l1_hits: L1 classification counts.
-        l2_misses / l2_hits: L2 counts (0/None-like when single level).
+        levels: per-level :class:`LevelStats`, innermost (L1) first —
+            one entry per configured hierarchy level.
         warped_accesses: accesses accounted for analytically by warping.
         simulated_accesses: accesses simulated explicitly.
         warp_count: number of successful warp applications.
@@ -22,20 +42,94 @@ class SimulationResult:
         wall_time: seconds spent inside the simulation proper (excludes
             SCoP construction, mirroring the paper's Fig. 6 methodology).
         extra: free-form per-experiment annotations.
+
+    The legacy two-level fields (``l1_hits`` … ``l2_misses``) remain
+    available as read/write properties over ``levels``; the legacy
+    constructor keywords are accepted too.
     """
 
-    scop_name: str
-    accesses: int = 0
-    l1_hits: int = 0
-    l1_misses: int = 0
-    l2_hits: int = 0
-    l2_misses: int = 0
-    warped_accesses: int = 0
-    simulated_accesses: int = 0
-    warp_count: int = 0
-    warp_attempts: int = 0
-    wall_time: float = 0.0
-    extra: Dict[str, object] = field(default_factory=dict)
+    def __init__(self, scop_name: str, accesses: int = 0,
+                 levels: Optional[Sequence[LevelStats]] = None,
+                 l1_hits: int = 0, l1_misses: int = 0,
+                 l2_hits: int = 0, l2_misses: int = 0,
+                 warped_accesses: int = 0, simulated_accesses: int = 0,
+                 warp_count: int = 0, warp_attempts: int = 0,
+                 wall_time: float = 0.0,
+                 extra: Optional[Dict[str, object]] = None):
+        self.scop_name = scop_name
+        self.accesses = accesses
+        if levels is None:
+            stats = [LevelStats("L1", l1_hits, l1_misses)]
+            # Legacy construction: a second level exists exactly when
+            # its counters say something.
+            if l2_hits or l2_misses:
+                stats.append(LevelStats("L2", l2_hits, l2_misses))
+            self.levels: List[LevelStats] = stats
+        else:
+            self.levels = list(levels)
+        self.warped_accesses = warped_accesses
+        self.simulated_accesses = simulated_accesses
+        self.warp_count = warp_count
+        self.warp_attempts = warp_attempts
+        self.wall_time = wall_time
+        self.extra: Dict[str, object] = extra if extra is not None else {}
+
+    # -- level bookkeeping ------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of cache levels this result reports on."""
+        return len(self.levels)
+
+    def _ensure_depth(self, depth: int) -> None:
+        while len(self.levels) < depth:
+            self.levels.append(LevelStats(f"L{len(self.levels) + 1}"))
+
+    def set_levels(self, caches) -> None:
+        """Copy per-level counters from simulator cache objects."""
+        self.levels = [LevelStats(cache.config.name, cache.hits,
+                                  cache.misses)
+                       for cache in caches]
+
+    # -- legacy two-level accessors ---------------------------------------------
+
+    @property
+    def l1_hits(self) -> int:
+        return self.levels[0].hits if self.levels else 0
+
+    @l1_hits.setter
+    def l1_hits(self, value: int) -> None:
+        self._ensure_depth(1)
+        self.levels[0].hits = value
+
+    @property
+    def l1_misses(self) -> int:
+        return self.levels[0].misses if self.levels else 0
+
+    @l1_misses.setter
+    def l1_misses(self, value: int) -> None:
+        self._ensure_depth(1)
+        self.levels[0].misses = value
+
+    @property
+    def l2_hits(self) -> int:
+        return self.levels[1].hits if len(self.levels) > 1 else 0
+
+    @l2_hits.setter
+    def l2_hits(self, value: int) -> None:
+        self._ensure_depth(2)
+        self.levels[1].hits = value
+
+    @property
+    def l2_misses(self) -> int:
+        return self.levels[1].misses if len(self.levels) > 1 else 0
+
+    @l2_misses.setter
+    def l2_misses(self, value: int) -> None:
+        self._ensure_depth(2)
+        self.levels[1].misses = value
+
+    # -- derived figures --------------------------------------------------------
 
     @property
     def misses(self) -> int:
@@ -51,17 +145,26 @@ class SimulationResult:
 
     def merge_counts_match(self, other: "SimulationResult") -> bool:
         """True if hit/miss counts agree (used by equivalence tests)."""
-        return (self.accesses == other.accesses
-                and self.l1_misses == other.l1_misses
-                and self.l2_misses == other.l2_misses)
+        if self.accesses != other.accesses:
+            return False
+        depth = max(self.depth, other.depth)
+        for index in range(depth):
+            mine = (self.levels[index].misses
+                    if index < self.depth else 0)
+            theirs = (other.levels[index].misses
+                      if index < other.depth else 0)
+            if mine != theirs:
+                return False
+        return True
 
     def __str__(self) -> str:
         parts = [
             f"{self.scop_name}: {self.accesses} accesses",
             f"L1 {self.l1_misses} misses",
         ]
-        if self.l2_hits or self.l2_misses:
-            parts.append(f"L2 {self.l2_misses} misses")
+        for stats in self.levels[1:]:
+            if stats.hits or stats.misses:
+                parts.append(f"{stats.name} {stats.misses} misses")
         if self.warp_count:
             parts.append(
                 f"warped {self.warped_accesses} accesses "
@@ -70,3 +173,9 @@ class SimulationResult:
             )
         parts.append(f"{self.wall_time * 1000:.1f} ms")
         return ", ".join(parts)
+
+    def __repr__(self) -> str:
+        level_repr = ", ".join(
+            f"{s.name}: {s.hits}h/{s.misses}m" for s in self.levels)
+        return (f"SimulationResult({self.scop_name!r}, "
+                f"accesses={self.accesses}, {level_repr})")

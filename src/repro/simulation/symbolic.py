@@ -23,7 +23,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.cache.config import CacheConfig, HierarchyConfig, WritePolicy
+from repro.cache.config import (
+    CacheConfig,
+    HierarchyConfig,
+    InclusionPolicy,
+    WritePolicy,
+)
 from repro.cache.policies import ReplacementPolicy, policy_by_name
 from repro.polyhedral.model import AccessNode
 
@@ -149,6 +154,90 @@ class SymbolicCache:
             self.misses += 1
         return hit
 
+    def _peek_victim(self, set_state: SymbolicSetState):
+        """The (block, sym) entry the next allocation would displace."""
+        occupied = [content is not None for content in set_state.blocks]
+        victim_line, _ = self.policy.on_miss(
+            set_state.policy_state, set_state.assoc, occupied)
+        if set_state.blocks[victim_line] is None:
+            return None
+        return (set_state.blocks[victim_line],
+                set_state.syms[victim_line])
+
+    def access_capture(self, block: int, sym: SymBlock, is_write: bool):
+        """Like :meth:`access`, but also returns the evicted entry.
+
+        Returns ``(hit, victim)`` where ``victim`` is the displaced
+        ``(block, sym)`` pair, or None when nothing was evicted (hit,
+        non-allocating write miss, or an empty line filled).  Mirrors
+        :meth:`CacheHierarchy._lookup_and_update` on the symbolic side.
+        """
+        allocate = (not is_write
+                    or self.config.write_policy is WritePolicy.WRITE_ALLOCATE)
+        index = self.config.index_of(block)
+        self.mru_set = index
+        set_state = self.sets[index]
+        victim = None
+        if allocate and block not in set_state.blocks:
+            victim = self._peek_victim(set_state)
+        hit = set_state.access(self.policy, block, sym, allocate)
+        if hit:
+            self.hits += 1
+            victim = None
+        else:
+            self.misses += 1
+        return hit, victim
+
+    def probe_extract(self, block: int) -> bool:
+        """Exclusive-hierarchy lookup: a hit removes the block.
+
+        Counts a hit or a miss; on a hit the line is cleared without
+        touching the policy state (mirroring the concrete hierarchy's
+        victim-cache semantics).
+        """
+        index = self.config.index_of(block)
+        self.mru_set = index
+        set_state = self.sets[index]
+        for line, content in enumerate(set_state.blocks):
+            if content == block:
+                set_state.version += 1
+                set_state.blocks[line] = None
+                set_state.syms[line] = None
+                self.hits += 1
+                return True
+        self.misses += 1
+        return False
+
+    def insert_victim(self, block: int, sym: SymBlock):
+        """Exclusive-hierarchy spill: allocate an evicted entry here.
+
+        Not a demand access: hit/miss counters stay untouched.  Returns
+        the displaced ``(block, sym)`` pair (to cascade into the next
+        level) or None.
+        """
+        index = self.config.index_of(block)
+        self.mru_set = index
+        set_state = self.sets[index]
+        victim = None
+        if block not in set_state.blocks:
+            victim = self._peek_victim(set_state)
+        set_state.access(self.policy, block, sym, True)
+        return victim
+
+    def invalidate(self, block: int) -> None:
+        """Inclusive-hierarchy back-invalidation: drop a block if present.
+
+        Leaves the policy state untouched, mirroring the concrete
+        hierarchy's ``_invalidate``.
+        """
+        set_state = self.sets[self.config.index_of(block)]
+        for line, content in enumerate(set_state.blocks):
+            if content == block:
+                set_state.version += 1
+                set_state.blocks[line] = None
+                set_state.syms[line] = None
+                return
+
     # -- match detection ----------------------------------------------------------
 
     def snapshot_key(self, depth: int, current: Tuple[int, ...]) -> Tuple:
@@ -263,28 +352,91 @@ def evaluate_symbol(sym: SymBlock, depth: int,
 
 
 class SymbolicHierarchy:
-    """Two symbolic caches under the NINE inclusion policy."""
+    """N symbolic caches under a configurable inclusion policy.
 
-    __slots__ = ("config", "l1", "l2")
+    Mirrors :class:`repro.cache.hierarchy.CacheHierarchy` access for
+    access: NINE descends on misses; INCLUSIVE back-invalidates the
+    victims of outer-level evictions; EXCLUSIVE moves outer-level hits
+    into the L1 and cascades eviction victims outwards.  All three stay
+    data-independent and bijection-compatible (the paper's Sec. 2.3
+    remark), so all three remain warpable.
+    """
 
-    def __init__(self, config: HierarchyConfig):
+    __slots__ = ("config", "inclusion", "_levels")
+
+    def __init__(self, config: HierarchyConfig,
+                 inclusion: Optional[InclusionPolicy] = None):
         self.config = config
-        self.l1 = SymbolicCache(config.l1)
-        self.l2 = SymbolicCache(config.l2)
-
-    def access(self, block: int, sym: SymBlock, is_write: bool) -> bool:
-        hit1 = self.l1.access(block, sym, is_write)
-        if not hit1:
-            self.l2.access(block, sym, is_write)
-        return hit1
+        self.inclusion = (InclusionPolicy.parse(inclusion)
+                          if inclusion is not None
+                          else config.inclusion)
+        self._levels = tuple(SymbolicCache(cfg) for cfg in config.levels)
 
     @property
     def levels(self) -> Tuple[SymbolicCache, ...]:
-        return (self.l1, self.l2)
+        return self._levels
+
+    @property
+    def l1(self) -> SymbolicCache:
+        return self._levels[0]
+
+    @property
+    def l2(self) -> SymbolicCache:
+        return self._levels[1]
+
+    def access(self, block: int, sym: SymBlock, is_write: bool) -> bool:
+        """Access a block; returns the L1 hit flag."""
+        if self.inclusion is InclusionPolicy.NINE:
+            return self._access_nine(block, sym, is_write)
+        if self.inclusion is InclusionPolicy.INCLUSIVE:
+            return self._access_inclusive(block, sym, is_write)
+        return self._access_exclusive(block, sym, is_write)
+
+    def _access_nine(self, block: int, sym: SymBlock,
+                     is_write: bool) -> bool:
+        hit1 = self._levels[0].access(block, sym, is_write)
+        hit = hit1
+        for level in self._levels[1:]:
+            if hit:
+                break
+            hit = level.access(block, sym, is_write)
+        return hit1
+
+    def _access_inclusive(self, block: int, sym: SymBlock,
+                          is_write: bool) -> bool:
+        # The L1's own victim is irrelevant (nothing is shallower), so
+        # only outer levels pay for victim capture.
+        hit1 = self._levels[0].access(block, sym, is_write)
+        if hit1:
+            return True
+        for index in range(1, len(self._levels)):
+            hit, victim = self._levels[index].access_capture(
+                block, sym, is_write)
+            if not hit and victim is not None:
+                for shallower in self._levels[:index]:
+                    shallower.invalidate(victim[0])
+            if hit:
+                break
+        return False
+
+    def _access_exclusive(self, block: int, sym: SymBlock,
+                          is_write: bool) -> bool:
+        hit1, victim = self._levels[0].access_capture(block, sym,
+                                                      is_write)
+        if hit1:
+            return True
+        for level in self._levels[1:]:
+            if level.probe_extract(block):
+                break
+        for level in self._levels[1:]:
+            if victim is None:
+                break
+            victim = level.insert_victim(victim[0], victim[1])
+        return False
 
     def reset(self) -> None:
-        self.l1.reset()
-        self.l2.reset()
+        for level in self._levels:
+            level.reset()
 
 
 class SingleLevel:

@@ -45,18 +45,42 @@ from repro.simulation.symbolic import (
 TargetConfig = Union[CacheConfig, HierarchyConfig]
 
 
+class _NineLevels:
+    """Adapter: a bare list of symbolic caches under NINE descent.
+
+    Kept for callers (tests, analyses) that build a runner from raw
+    levels rather than a :class:`SingleLevel`/:class:`SymbolicHierarchy`.
+    """
+
+    __slots__ = ("levels",)
+
+    def __init__(self, levels: Sequence[SymbolicCache]):
+        self.levels = tuple(levels)
+
+    def access(self, block: int, sym, is_write: bool) -> bool:
+        hit1 = self.levels[0].access(block, sym, is_write)
+        hit = hit1
+        for level in self.levels[1:]:
+            if hit:
+                break
+            hit = level.access(block, sym, is_write)
+        return hit1
+
+
 def simulate_warping(scop: Scop, config: TargetConfig,
                      enable_warping: bool = True) -> SimulationResult:
     """Simulate ``scop`` with warping on a cache or hierarchy config.
 
-    ``enable_warping=False`` degrades to plain symbolic simulation, which
-    is useful for ablation measurements.
+    Hierarchies of any depth and every inclusion policy are supported;
+    ``config.inclusion`` selects the policy.  ``enable_warping=False``
+    degrades to plain symbolic simulation, which is useful for ablation
+    measurements.
     """
     if isinstance(config, HierarchyConfig):
         target = SymbolicHierarchy(config)
     else:
         target = SingleLevel(config)
-    runner = _WarpingRunner(scop, list(target.levels), enable_warping)
+    runner = _WarpingRunner(scop, target, enable_warping)
     start = time.perf_counter()
     for root in scop.roots:
         runner.run_node(root, ())
@@ -68,12 +92,7 @@ def simulate_warping(scop: Scop, config: TargetConfig,
     result.warped_accesses = runner.accesses - runner.explicit_accesses
     result.warp_count = runner.warp_count
     result.warp_attempts = runner.warp_attempts
-    levels = list(target.levels)
-    result.l1_hits = levels[0].hits
-    result.l1_misses = levels[0].misses
-    if len(levels) > 1:
-        result.l2_hits = levels[1].hits
-        result.l2_misses = levels[1].misses
+    result.set_levels(target.levels)
     return result
 
 
@@ -93,11 +112,16 @@ class _WarpingRunner:
     #: match detection never changes simulation results, only speed.
     max_matchless_executions = 3
 
-    def __init__(self, scop: Scop, levels: List[SymbolicCache],
+    def __init__(self, scop: Scop,
+                 target: Union[SingleLevel, SymbolicHierarchy,
+                               Sequence[SymbolicCache]],
                  enable_warping: bool = True):
         self.scop = scop
-        self.levels = levels
-        self.block_size = levels[0].config.block_size
+        if isinstance(target, (list, tuple)):
+            target = _NineLevels(target)
+        self.target = target
+        self.levels: List[SymbolicCache] = list(target.levels)
+        self.block_size = self.levels[0].config.block_size
         from repro.cache.config import IndexFunction
 
         # Warping's match detection relies on the rotation symmetry of
@@ -106,7 +130,7 @@ class _WarpingRunner:
         # plain symbolic simulation for non-modulo index functions.
         modulo_only = all(
             level.config.index_function is IndexFunction.MODULO
-            for level in levels
+            for level in self.levels
         )
         self.enable_warping = enable_warping and modulo_only
         self.accesses = 0
@@ -137,9 +161,9 @@ class _WarpingRunner:
         sym = (node, point)
         self.accesses += 1
         self.explicit_accesses += 1
-        hit = self.levels[0].access(block, sym, node.is_write)
-        if not hit and len(self.levels) > 1:
-            self.levels[1].access(block, sym, node.is_write)
+        # The target encapsulates the inter-level semantics (NINE /
+        # inclusive / exclusive descent, victim flow, invalidations).
+        self.target.access(block, sym, node.is_write)
 
     def run_loop(self, loop: LoopNode, prefix: Tuple[int, ...]) -> None:
         """LoopNode::WarpingSimulate."""

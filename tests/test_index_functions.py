@@ -55,6 +55,15 @@ def test_xor_requires_power_of_two_sets():
         CacheConfig(480, 2, 16, index_function=IndexFunction.XOR_FOLD)
 
 
+def test_xor_fold_single_set_terminates():
+    """Regression: with one set the fold width is 0 and ``value >>= 0``
+    used to spin forever; a single-set cache must map everything to 0."""
+    cfg = CacheConfig(64, 4, 16, index_function=IndexFunction.XOR_FOLD)
+    assert cfg.num_sets == 1
+    for block in (0, 1, 7, 123456, -5):
+        assert cfg.index_of(block) == 0
+
+
 def test_simulation_exact_under_hashing():
     """Warping simulation falls back to symbolic simulation but stays
     exact under hashed indexing."""
