@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Tiling exploration: tile sizes x cache sizes to a Pareto frontier.
+
+Loop tiling trades reuse distance against loop overhead; cache capacity
+trades hardware cost against miss rate.  Sweeping both at once answers
+the co-design question "how much cache does each schedule actually
+need?": the Pareto frontier below lists, for every attainable miss
+level, the cheapest (capacity, schedule) pair reaching it.
+
+Run with::
+
+    python examples/tiling_exploration.py
+"""
+
+from repro import SweepSpec, pareto_frontier, run_sweep
+from repro.explore.report import frontier_table, sweep_table
+
+KERNEL = "mvt"
+SIZE = {"N": 32}          # working set: one 32x32 double matrix = 8 KiB
+CACHES = [512, 1024, 2048]
+TILES = ["",              # original schedule
+         "tile(i,j:4x4)",
+         "tile(i,j:8x8)",
+         "tile(i,j:16x16)"]
+
+
+def main() -> None:
+    spec = SweepSpec(
+        kernels=[KERNEL], sizes=[SIZE],
+        l1_sizes=CACHES, l1_assocs=[4], l1_policies=["lru"],
+        block_sizes=[16], transforms=TILES,
+    )
+    outcome = run_sweep(spec)
+    assert not outcome.errors, "sweep had failing points"
+    print(f"{KERNEL} @ N={SIZE['N']}: {outcome.total} points "
+          f"({len(CACHES)} cache sizes x {len(TILES)} schedules) in "
+          f"{outcome.wall_time:.2f}s\n")
+    print(sweep_table(outcome.ok_records))
+
+    # Every transformed schedule performs the same accesses.
+    accesses = {r["result"]["accesses"] for r in outcome.ok_records}
+    assert len(accesses) == 1, accesses
+
+    frontier = pareto_frontier(outcome.ok_records,
+                               ["capacity", "l1_misses"])
+    print()
+    print(frontier_table(frontier, ["capacity", "l1_misses"]))
+
+    best_by_cache = {}
+    for record in outcome.ok_records:
+        size = record["point"]["l1_size"]
+        if size not in best_by_cache or (record["result"]["l1_misses"]
+                                         < best_by_cache[size][1]):
+            best_by_cache[size] = (
+                record["point"].get("transform") or "original",
+                record["result"]["l1_misses"])
+    print("\nbest schedule per cache size:")
+    for size in sorted(best_by_cache):
+        schedule, misses = best_by_cache[size]
+        print(f"  {size:5d} B: {schedule:18s} ({misses} misses)")
+
+
+if __name__ == "__main__":
+    main()

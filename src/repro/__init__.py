@@ -28,6 +28,9 @@ Package map:
 * :mod:`repro.analysis` — metrics and report tables.
 * :mod:`repro.explore` — parallel, resumable design-space exploration
   (sweep specs, result stores, Pareto frontiers).
+* :mod:`repro.transform` — polyhedral schedule transformations
+  (tiling, interchange, reversal, fusion, distribution) with a
+  composable pipeline grammar.
 
 Design-space sweeps::
 
@@ -67,6 +70,13 @@ from repro.simulation import (
     simulate_nonwarping,
     simulate_warping,
 )
+from repro.transform import (
+    Pipeline,
+    TransformError,
+    TransformStep,
+    apply_pipeline,
+    render_scop,
+)
 
 __version__ = "1.0.0"
 
@@ -77,12 +87,17 @@ __all__ = [
     "HierarchyConfig",
     "InclusionPolicy",
     "LevelStats",
+    "Pipeline",
+    "TransformError",
+    "TransformStep",
     "WritePolicy",
     "ScopBuilder",
     "SimulationResult",
     "SweepOutcome",
     "SweepPoint",
     "SweepSpec",
+    "apply_pipeline",
+    "render_scop",
     "simulate_nonwarping",
     "simulate_warping",
     "build_kernel",

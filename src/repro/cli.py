@@ -18,13 +18,23 @@ design-space exploration engine of :mod:`repro.explore`:
     python -m repro compare --kernel atax --size MINI \\
         --l1-size 2048 --l1-assoc 8
 
+    python -m repro simulate --kernel mvt --size MINI \\
+        --transform 'tile(i,j:32x32)' --l1-size 2048 --l1-assoc 8
+
+    python -m repro transform --kernel mvt --size MINI \\
+        --transform 'tile(i,j:32x32); interchange(jj,i)'
+
     python -m repro sweep --kernels gemm,atax --sizes MINI \\
         --l1-sizes 1024,2048,4096 --l1-policies lru,plru \\
         --block-sizes 32 --store campaign.jsonl --workers 4
 
+    python -m repro sweep --kernels mvt --sizes MINI --l1-sizes 2048 \\
+        --transform '' --transform 'tile(i,j:8x8)' \\
+        --transform 'tile(i,j:32x32)' --store tiles.jsonl
+
     python -m repro frontier --store campaign.jsonl
 
-    python -m repro list-kernels
+    python -m repro list-kernels --json
 """
 
 from __future__ import annotations
@@ -62,8 +72,19 @@ from repro.explore.runner import result_payload, run_engine, run_sweep
 from repro.explore.spec import ENGINES, INCLUSIONS, SweepSpec
 from repro.explore.store import open_store
 from repro.frontend import parse_scop
-from repro.polybench import all_kernel_names, build_kernel, get_kernel
+from repro.polybench import (
+    SIZE_CLASSES,
+    all_kernel_names,
+    build_kernel,
+    get_kernel,
+)
 from repro.polyhedral.model import Scop
+from repro.transform import (
+    TransformError,
+    apply_pipeline,
+    canonical_spec,
+    render_scop,
+)
 
 DEFAULT_STORE = "sweep_results.jsonl"
 
@@ -92,9 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(compare, default_engine=None)
     compare.add_argument("--json", action="store_true")
 
+    transform = sub.add_parser(
+        "transform", help="pretty-print a program's (transformed) "
+                          "loop nest without simulating it")
+    _add_program_args(transform)
+    transform.add_argument("--counts", action="store_true",
+                           help="also compute exact per-array access "
+                                "counts (enumerates the iteration "
+                                "space)")
+    transform.add_argument("--json", action="store_true")
+
     sweep = sub.add_parser(
         "sweep", help="run a design-space sweep (kernels x caches x "
-                      "policies x engines) with a persistent store")
+                      "policies x transforms x engines) with a "
+                      "persistent store")
     _add_sweep_args(sweep)
 
     frontier = sub.add_parser(
@@ -121,7 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     lister = sub.add_parser("list-kernels",
                             help="list the PolyBench kernels")
-    lister.add_argument("--json", action="store_true")
+    lister.add_argument("--json", action="store_true",
+                        help="emit name, category, parameters and "
+                             "per-size footprint/access counts")
+    lister.add_argument(
+        "--counts", type=_comma_list, default=["MINI"], metavar="SIZES",
+        help="size classes to compute exact access counts for in the "
+             "--json output (counting enumerates the outer iteration "
+             "space; default MINI, pass '' to disable)")
     return parser
 
 
@@ -135,6 +174,11 @@ def _add_program_args(parser: argparse.ArgumentParser) -> None:
         "--size", default="MINI",
         help="PolyBench size class (MINI/SMALL/MEDIUM/LARGE/EXTRALARGE) "
              "or JSON dict of parameters, e.g. '{\"N\": 64}'")
+    parser.add_argument(
+        "--transform", metavar="SPEC", default=None,
+        help="schedule-transformation pipeline applied to the program, "
+             "e.g. 'tile(i,j:32x32); interchange(jj,i)' (ops: tile, "
+             "strip_mine, interchange, reverse, fuse, distribute)")
 
 
 POLICY_CHOICES = ["lru", "fifo", "plru", "qlru", "nmru"]
@@ -265,6 +309,12 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
                         default=["warping"],
                         help="comma-separated engines "
                              "(warping, tree, dinero)")
+    parser.add_argument(
+        "--transform", metavar="SPEC", action="append",
+        dest="transforms", default=None,
+        help="schedule-transformation pipeline to add as a grid "
+             "dimension (repeatable; '' is the untransformed "
+             "schedule; default: untransformed only)")
     parser.add_argument("--no-write-allocate", action="store_true")
     parser.add_argument("--store", default=DEFAULT_STORE,
                         help=f"persistent result store "
@@ -282,15 +332,22 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
 
 
 def load_program(args) -> Scop:
-    if args.kernel:
-        size = args.size
-        if size.strip().startswith("{"):
-            size = json.loads(size)
-        return build_kernel(args.kernel, size)
-    with open(args.source) as handle:
-        source = handle.read()
-    name = args.source.rsplit("/", 1)[-1].rsplit(".", 1)[0]
-    return parse_scop(source, name=name)
+    transform = getattr(args, "transform", None)
+    try:
+        if args.kernel:
+            size = args.size
+            if size.strip().startswith("{"):
+                size = json.loads(size)
+            return build_kernel(args.kernel, size, transform=transform)
+        with open(args.source) as handle:
+            source = handle.read()
+        name = args.source.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        scop = parse_scop(source, name=name)
+        if transform:
+            scop = apply_pipeline(scop, transform)
+        return scop
+    except TransformError as exc:
+        raise SystemExit(f"--transform: {exc}")
 
 
 def load_config(args):
@@ -363,9 +420,55 @@ def cmd_simulate(args) -> int:
     result = run_engine(scop, config, args.engine,
                         enable_warping=not args.no_warping)
     if args.json:
-        print(json.dumps(result_dict(result), indent=2))
+        payload = result_dict(result)
+        if args.transform:
+            payload["transform"] = canonical_spec(args.transform)
+        print(json.dumps(payload, indent=2))
     else:
         print(result)
+    return 0
+
+
+def cmd_transform(args) -> int:
+    scop = load_program(args)
+    pipeline_spec = canonical_spec(args.transform) if args.transform \
+        else ""
+    if args.json:
+        payload = {
+            "program": scop.name,
+            "transform": pipeline_spec,
+            "arrays": {
+                name: {"extents": list(array.extents),
+                       "size_bytes": array.size_bytes}
+                for name, array in scop.layout.arrays.items()
+            },
+            "footprint_bytes": scop.footprint_bytes(),
+            "loops": sum(1 for _ in scop.loop_nodes()),
+            "access_nodes": sum(1 for _ in scop.access_nodes()),
+            "nest": render_scop(scop),
+        }
+        if args.counts:
+            payload["accesses_by_array"] = scop.count_accesses_by_array()
+            payload["accesses"] = sum(
+                payload["accesses_by_array"].values())
+        print(json.dumps(payload, indent=2))
+        return 0
+    header = scop.name
+    if pipeline_spec:
+        header += f"  [{pipeline_spec}]"
+    print(header)
+    print("arrays: " + "  ".join(
+        f"{name}[{']['.join(str(e) for e in array.extents)}]"
+        for name, array in scop.layout.arrays.items())
+        + f"  ({scop.footprint_bytes()} bytes)")
+    print()
+    print(render_scop(scop))
+    if args.counts:
+        counts = scop.count_accesses_by_array()
+        print()
+        print(f"accesses: {sum(counts.values())}  ("
+              + ", ".join(f"{name}: {count}"
+                          for name, count in counts.items()) + ")")
     return 0
 
 
@@ -426,6 +529,7 @@ def _sweep_from_args(args):
         l3_policies=args.l3_policies,
         inclusions=args.inclusions,
         engines=args.engines,
+        transforms=(args.transforms if args.transforms else [""]),
         write_allocate=not args.no_write_allocate,
     )
 
@@ -523,14 +627,35 @@ def cmd_frontier(args) -> int:
 
 def cmd_list_kernels(args) -> int:
     names = all_kernel_names()
+    # Validate up front so a typo'd --counts errors in text mode too,
+    # instead of being silently ignored.
+    count_classes = {cls.upper() for cls in args.counts}
+    unknown = count_classes - set(SIZE_CLASSES)
+    if unknown:
+        raise SystemExit(
+            f"list-kernels: unknown size classes in --counts: "
+            f"{sorted(unknown)}; use a subset of "
+            f"{list(SIZE_CLASSES)}")
     if args.json:
-        payload = {
-            name: {
-                "category": get_kernel(name).category,
-                "params": list(get_kernel(name).params),
+        payload = {}
+        for name in names:
+            spec = get_kernel(name)
+            sizes = {}
+            for cls in SIZE_CLASSES:
+                scop = spec.build(cls)
+                entry = {
+                    "params": spec.size_dict(cls),
+                    "footprint_bytes": scop.footprint_bytes(),
+                }
+                if cls in count_classes:
+                    entry["accesses"] = scop.count_accesses()
+                sizes[cls] = entry
+            payload[name] = {
+                "category": spec.category,
+                "params": list(spec.params),
+                "is_stencil": spec.is_stencil,
+                "sizes": sizes,
             }
-            for name in names
-        }
         print(json.dumps(payload, indent=2))
     else:
         for name in names:
@@ -547,6 +672,8 @@ def main(argv: Optional[list] = None) -> int:
             return cmd_simulate(args)
         if args.command == "compare":
             return cmd_compare(args)
+        if args.command == "transform":
+            return cmd_transform(args)
         if args.command == "sweep":
             return cmd_sweep(args)
         if args.command == "frontier":

@@ -27,6 +27,14 @@ def sweep_summary(outcome: SweepOutcome, store_path: str = "") -> str:
     return "\n".join(lines)
 
 
+def _program_label(point: dict) -> str:
+    """Kernel name, tagged with its transform pipeline when present."""
+    transform = point.get("transform")
+    if transform:
+        return f"{point['kernel']} [{transform}]"
+    return point["kernel"]
+
+
 def _point_label(point: dict) -> str:
     parts = [f"{point['l1_size']}B/{point['l1_assoc']}w/"
              f"{point['l1_policy']}"]
@@ -49,7 +57,7 @@ def sweep_table(records: Sequence[dict]) -> str:
         point, result = record["point"], record["result"]
         rate = result["l1_misses"] / max(1, result["accesses"])
         rows.append([
-            point["kernel"], _point_label(point), point["engine"],
+            _program_label(point), _point_label(point), point["engine"],
             result["accesses"], result["l1_misses"],
             f"{100 * rate:.2f}%",
             f"{result['wall_time_s'] * 1000:.1f}",
@@ -67,7 +75,7 @@ def frontier_table(records: Sequence[dict],
     for record in records:
         point = record["point"]
         values = objective_values(record, objectives)
-        rows.append([point["kernel"], _point_label(point),
+        rows.append([_program_label(point), _point_label(point),
                      point["engine"], *values])
     return format_table(
         ["kernel", "cache", "engine", *objectives], rows,

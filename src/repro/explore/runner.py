@@ -135,7 +135,8 @@ def simulate_point(point: SweepPoint) -> SimulationResult:
     """Run one sweep point with its configured engine (no timeout)."""
     from repro.polybench import build_kernel
 
-    scop = build_kernel(point.kernel, point.size_spec)
+    scop = build_kernel(point.kernel, point.size_spec,
+                        transform=point.transform or None)
     return run_engine(scop, point.cache_config(), point.engine)
 
 

@@ -1,8 +1,8 @@
 """Sweep specifications: cartesian design-space grids over simulations.
 
 A :class:`SweepSpec` describes a grid of simulation points — kernels
-crossed with problem sizes, L1/L2 geometries, replacement policies and
-engines.  ``expand()`` materialises the grid as :class:`SweepPoint`
+crossed with problem sizes, cache geometries, replacement policies,
+schedule transformations and engines.  ``expand()`` materialises the grid as :class:`SweepPoint`
 records, silently dropping combinations with invalid cache geometry
 (e.g. a capacity that is not a multiple of ``assoc * block_size``)
 unless ``strict=True``.
@@ -70,6 +70,9 @@ class SweepPoint:
     inclusion: str = "nine"
     write_allocate: bool = True
     engine: str = "warping"
+    #: schedule-transformation pipeline spec ("" = original schedule);
+    #: stored in canonical form so equal pipelines hash equally
+    transform: str = ""
 
     def __post_init__(self):
         if isinstance(self.size, dict):
@@ -78,6 +81,11 @@ class SweepPoint:
                 tuple(sorted((k, int(v)) for k, v in self.size.items())))
         elif isinstance(self.size, str):
             object.__setattr__(self, "size", self.size.upper())
+        if self.transform:
+            from repro.transform import canonical_spec
+
+            object.__setattr__(self, "transform",
+                               canonical_spec(self.transform))
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; use one of {ENGINES}")
@@ -151,6 +159,8 @@ class SweepPoint:
             payload["l3_policy"] = self.l3_policy
         if self.inclusion != "nine":
             payload["inclusion"] = self.inclusion
+        if self.transform:
+            payload["transform"] = self.transform
         return payload
 
     @staticmethod
@@ -174,6 +184,7 @@ class SweepPoint:
             inclusion=data.get("inclusion", "nine"),
             write_allocate=bool(data.get("write_allocate", True)),
             engine=data.get("engine", "warping"),
+            transform=data.get("transform", ""),
         )
 
     def key(self) -> str:
@@ -202,6 +213,10 @@ class SweepSpec:
     all.  ``l2_sizes``/``l3_sizes`` default to ``[0]`` (no second/third
     level); ``inclusions`` defaults to ``["nine"]`` and, like the L3
     axes, is only crossed for genuine hierarchies (``l2_size > 0``).
+    ``transforms`` lists schedule-transformation pipelines (see
+    :mod:`repro.transform`); the default ``[""]`` keeps the original
+    schedule only, and untransformed points keep their pre-transform
+    content keys, so existing stores resume cleanly.
     """
 
     kernels: List[str]
@@ -218,6 +233,9 @@ class SweepSpec:
     l3_policies: List[str] = field(default_factory=lambda: ["qlru"])
     inclusions: List[str] = field(default_factory=lambda: ["nine"])
     engines: List[str] = field(default_factory=lambda: ["warping"])
+    #: schedule-transformation pipelines; "" is the original schedule,
+    #: so the default grid matches pre-transform campaigns exactly
+    transforms: List[str] = field(default_factory=lambda: [""])
     write_allocate: bool = True
     name: str = ""
 
@@ -226,8 +244,15 @@ class SweepSpec:
                      "l1_policies", "block_sizes", "l2_sizes",
                      "l2_assocs", "l2_policies", "l3_sizes",
                      "l3_assocs", "l3_policies", "inclusions",
-                     "engines"):
+                     "engines", "transforms"):
             setattr(self, attr, _as_list(getattr(self, attr)))
+        # Validate transform specs up front: a malformed pipeline is a
+        # spec error the user should see immediately, not a per-point
+        # failure record deep into a campaign.
+        from repro.transform import canonical_spec
+
+        self.transforms = [canonical_spec(t) if t else ""
+                           for t in self.transforms]
         # The L3 and inclusion axes only exist under an L2; requesting
         # them in a grid that can never have one would otherwise be
         # silently ignored (the campaign the user asked for would not
@@ -282,7 +307,7 @@ class SweepSpec:
         counts = [len(self.kernels), len(self.sizes), len(self.l1_sizes),
                   len(self.l1_assocs), len(self.l1_policies),
                   len(self.block_sizes), len(self._hierarchy_combos()),
-                  len(self.engines)]
+                  len(self.engines), len(self.transforms)]
         total = 1
         for count in counts:
             total *= count
@@ -311,10 +336,10 @@ class SweepSpec:
         seen = set()
         for (kernel, size, l1_size, l1_assoc, l1_policy, block_size,
              (l2_size, l2_assoc, l2_policy, l3_size, l3_assoc,
-              l3_policy, inclusion), engine) in itertools.product(
+              l3_policy, inclusion), engine, transform) in itertools.product(
                 self.kernels, self.sizes, self.l1_sizes, self.l1_assocs,
                 self.l1_policies, self.block_sizes,
-                self._hierarchy_combos(), self.engines):
+                self._hierarchy_combos(), self.engines, self.transforms):
             point = SweepPoint(
                 kernel=kernel, size=_canonical_size(size),
                 l1_size=int(l1_size), l1_assoc=int(l1_assoc),
@@ -324,6 +349,7 @@ class SweepSpec:
                 l3_size=int(l3_size), l3_assoc=int(l3_assoc),
                 l3_policy=l3_policy, inclusion=inclusion,
                 write_allocate=self.write_allocate, engine=engine,
+                transform=transform,
             )
             try:
                 point.cache_config()
@@ -359,6 +385,7 @@ class SweepSpec:
             "l3_policies": list(self.l3_policies),
             "inclusions": list(self.inclusions),
             "engines": list(self.engines),
+            "transforms": list(self.transforms),
             "write_allocate": self.write_allocate,
         }
         if self.name:

@@ -42,9 +42,20 @@ class KernelSpec:
             ) from None
         return dict(zip(self.params, values))
 
-    def build(self, size: SizeSpec) -> Scop:
-        """Construct the kernel SCoP at the given problem size."""
-        return self.builder(**self.size_dict(size))
+    def build(self, size: SizeSpec, transform=None) -> Scop:
+        """Construct the kernel SCoP at the given problem size.
+
+        ``transform`` optionally applies a schedule-transformation
+        pipeline (a spec string such as ``"tile(i,j:32x32)"``, a JSON
+        step list, or a :class:`repro.transform.Pipeline`) to the built
+        SCoP; see :mod:`repro.transform`.
+        """
+        scop = self.builder(**self.size_dict(size))
+        if transform:
+            from repro.transform import apply_pipeline
+
+            scop = apply_pipeline(scop, transform)
+        return scop
 
 
 KERNELS: Dict[str, KernelSpec] = {}
@@ -79,9 +90,14 @@ def get_kernel(name: str) -> KernelSpec:
         ) from None
 
 
-def build_kernel(name: str, size: SizeSpec) -> Scop:
-    """Build a kernel SCoP by name at a size class or explicit size."""
-    return get_kernel(name).build(size)
+def build_kernel(name: str, size: SizeSpec, transform=None) -> Scop:
+    """Build a kernel SCoP by name at a size class or explicit size.
+
+    ``transform`` optionally names a schedule-transformation pipeline
+    (e.g. ``"tile(i,j:32x32); interchange(jj,i)"``) applied to the
+    built SCoP.
+    """
+    return get_kernel(name).build(size, transform=transform)
 
 
 def all_kernel_names() -> List[str]:

@@ -307,13 +307,25 @@ class Scop:
     def count_accesses(self) -> int:
         """Total dynamic memory accesses (exact, via domain enumeration).
 
-        Intended for small problem instances (tests / reports); simulators
-        count accesses during simulation instead.
+        Innermost loops with exact affine bounds and unguarded accesses
+        are counted in closed form, so the cost is proportional to the
+        number of *outer* loop iterations, not accesses.  Used by
+        reports, ``list-kernels --json`` and the transform differential
+        tests; simulators count accesses during simulation instead.
         """
-        total = 0
+        return sum(self.count_accesses_by_array().values())
+
+    def count_accesses_by_array(self) -> dict:
+        """Exact per-array dynamic access counts (array name -> count).
+
+        This is the invariant every schedule transformation preserves:
+        a transformed SCoP performs exactly the original accesses, in a
+        different order.
+        """
+        totals: dict = {name: 0 for name in self.layout.arrays}
         for root in self.roots:
-            total += _count_node(root, BasicSet(()), ())
-        return total
+            _count_node(root, totals)
+        return totals
 
     def footprint_bytes(self) -> int:
         """Total bytes of all declared arrays."""
@@ -323,28 +335,45 @@ class Scop:
         return f"Scop({self.name}, {len(self.roots)} top-level nodes)"
 
 
-def _count_node(node: Union[LoopNode, AccessNode], outer_domain: BasicSet,
-                prefix_dims: Tuple[str, ...]) -> int:
+def _count_node(node: Union[LoopNode, AccessNode], totals: dict) -> None:
     if isinstance(node, AccessNode):
         # Top-level access node (outside any loop).
-        return 1 if node.in_domain(()) else 0
-    return _count_loop(node, ())
+        if node.in_domain(()):
+            totals[node.array.name] = totals.get(node.array.name, 0) + 1
+        return
+    _count_loop(node, (), totals)
 
 
-def _count_loop(loop: LoopNode, prefix: Point) -> int:
+def _count_loop(loop: LoopNode, prefix: Point, totals: dict) -> None:
     bounds = loop.bounds_at(prefix)
     if bounds is None:
-        return 0
-    total = 0
+        return
     lo, hi = bounds
+    # With exact affine bounds (no divs/existentials) every lattice point
+    # of [lo, hi] is in the domain, so unguarded leaf accesses count in
+    # closed form: trip count x one per access node.
+    exact = loop._bounds_exact
+    plain: List[str] = []
+    complex_children: List[Union[LoopNode, AccessNode]] = []
+    for child in loop.children:
+        if exact and isinstance(child, AccessNode) and child.domain is None:
+            plain.append(child.array.name)
+        else:
+            complex_children.append(child)
+    if exact and plain:
+        trips = (hi - lo) // loop.stride + 1
+        for name in plain:
+            totals[name] = totals.get(name, 0) + trips
+    if not complex_children:
+        return
     for value in range(lo, hi + 1, loop.stride):
         point = prefix + (value,)
-        if not loop.in_domain(point):
+        if not exact and not loop.in_domain(point):
             continue
-        for child in loop.children:
+        for child in complex_children:
             if isinstance(child, AccessNode):
                 if child.in_domain(point):
-                    total += 1
+                    totals[child.array.name] = (
+                        totals.get(child.array.name, 0) + 1)
             else:
-                total += _count_loop(child, point)
-    return total
+                _count_loop(child, point, totals)

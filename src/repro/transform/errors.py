@@ -1,0 +1,50 @@
+"""Typed errors of the schedule-transformation subsystem.
+
+Every transform failure is a :class:`TransformError`, which subclasses
+``ValueError`` so callers that already guard kernel/spec construction
+with ``except ValueError`` keep working.  The subclasses distinguish
+the *reason* a transformation was rejected:
+
+* :class:`PipelineSyntaxError` — the pipeline spec string/JSON does not
+  parse (bad grammar, unknown op, malformed sizes).
+* :class:`UnknownIteratorError` — the target iterator names no loop of
+  the SCoP.
+* :class:`NotPerfectlyNestedError` — the transform needs a perfectly
+  nested loop chain (tile, interchange) and the named loops are not one.
+* :class:`NotPermutableError` — reordering the named loops would change
+  the iteration domain (e.g. rectangular tiling of a triangular nest).
+* :class:`IncompatibleLoopsError` — fusion preconditions fail (no
+  adjacent sibling loop, different strides or iteration domains).
+* :class:`UnsupportedDomainError` — the loop's domain uses existential
+  or div dimensions, which the transforms do not rebuild.
+"""
+
+from __future__ import annotations
+
+
+class TransformError(ValueError):
+    """Base class of all schedule-transformation failures."""
+
+
+class PipelineSyntaxError(TransformError):
+    """The transformation pipeline spec does not parse."""
+
+
+class UnknownIteratorError(TransformError):
+    """A named iterator does not occur in the SCoP."""
+
+
+class NotPerfectlyNestedError(TransformError):
+    """The named loops do not form a perfectly nested chain."""
+
+
+class NotPermutableError(TransformError):
+    """Loop reordering would change the iteration domain."""
+
+
+class IncompatibleLoopsError(TransformError):
+    """Loop fusion/distribution preconditions are not met."""
+
+
+class UnsupportedDomainError(TransformError):
+    """The loop's domain has div/existential dims (not transformable)."""

@@ -1,0 +1,128 @@
+"""Pretty-printing of SCoP loop nests (the ``repro transform`` view).
+
+Renders a SCoP tree as indented pseudo-code, reconstructing readable
+``lo .. hi`` loop bounds from each loop's own affine constraints::
+
+    for ii = 0 .. 19 step 8:
+      for i = max(0, ii) .. min(19, ii+7):
+        read A[i]
+        write B[i]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.isl.affine import LinExpr
+from repro.isl.sets import BasicSet
+from repro.polyhedral.model import AccessNode, LoopNode, Scop
+
+
+def render_scop(scop: Scop, indent: str = "  ") -> str:
+    """The whole SCoP as indented pseudo-code."""
+    lines: List[str] = []
+    for root in scop.roots:
+        _render_node(root, None, 0, indent, lines)
+    return "\n".join(lines)
+
+
+def _render_node(node: Union[LoopNode, AccessNode],
+                 parent: Optional[LoopNode], depth: int,
+                 indent: str, lines: List[str]) -> None:
+    pad = indent * depth
+    if isinstance(node, AccessNode):
+        lines.append(pad + _render_access(node, parent))
+        return
+    lines.append(pad + _render_loop_header(node))
+    for child in node.children:
+        _render_node(child, node, depth + 1, indent, lines)
+
+
+def _render_access(node: AccessNode, parent: Optional[LoopNode]) -> str:
+    kind = "write" if node.is_write else "read"
+    subscripts = "".join(f"[{expr}]" for expr in node.subscripts)
+    text = f"{kind} {node.array.name}{subscripts}"
+    guard = _guard_constraints(node, parent)
+    if guard:
+        text += "  if " + " and ".join(guard)
+    return text
+
+
+def _guard_constraints(node: AccessNode,
+                       parent: Optional[LoopNode]) -> List[str]:
+    """The guard constraints beyond the enclosing loop's domain."""
+    if node.domain is None:
+        return []
+    inherited = set()
+    if parent is not None:
+        inherited = (set(parent.domain.eqs)
+                     | set(parent.domain.ineqs))
+    parts = [f"{expr} == 0" for expr in node.domain.eqs
+             if expr not in inherited]
+    parts += [f"{expr} >= 0" for expr in node.domain.ineqs
+              if expr not in inherited]
+    return parts
+
+
+def _render_loop_header(loop: LoopNode) -> str:
+    lower, upper, guards = _own_bounds(loop.domain, loop.iterator)
+    lo_text = _join_bounds(lower, "max")
+    hi_text = _join_bounds(upper, "min")
+    text = f"for {loop.iterator} = {lo_text} .. {hi_text}"
+    if loop.stride != 1:
+        text += f" step {loop.stride}"
+    if guards:
+        text += "  if " + " and ".join(guards)
+    return text + ":"
+
+
+def _own_bounds(domain: BasicSet, iterator: str
+                ) -> Tuple[List[str], List[str], List[str]]:
+    """(lower bound texts, upper bound texts, extra guard texts)."""
+    lower: List[str] = []
+    upper: List[str] = []
+    guards: List[str] = []
+    if domain.divs or domain.exists:
+        guards.append("<non-affine domain>")
+    constraints = ([(e, True) for e in domain.eqs]
+                   + [(e, False) for e in domain.ineqs])
+    for expr, is_eq in constraints:
+        coeff = expr.coeff(iterator)
+        if coeff == 0:
+            continue
+        coeff = int(coeff)
+        rest = expr - LinExpr.var(iterator, coeff)
+        if coeff > 0:
+            lower.append(_bound_text(-rest, coeff, ceil=True))
+            if is_eq:
+                upper.append(_bound_text(-rest, coeff, ceil=False))
+        else:
+            upper.append(_bound_text(rest, -coeff, ceil=False))
+            if is_eq:
+                lower.append(_bound_text(rest, -coeff, ceil=True))
+    # Deduplicate repeated bounds while preserving order.
+    return (_dedupe(lower) or ["-inf"], _dedupe(upper) or ["+inf"],
+            guards)
+
+
+def _bound_text(numerator: LinExpr, denominator: int, ceil: bool) -> str:
+    if denominator == 1:
+        return str(numerator)
+    rounding = "ceil" if ceil else "floor"
+    return f"{rounding}(({numerator})/{denominator})"
+
+
+def _join_bounds(texts: List[str], combiner: str) -> str:
+    if len(texts) == 1:
+        return texts[0]
+    return f"{combiner}({', '.join(texts)})"
+
+
+def _dedupe(texts: List[str]) -> List[str]:
+    seen = set()
+    out = []
+    for text in texts:
+        if text not in seen:
+            seen.add(text)
+            out.append(text)
+    return out

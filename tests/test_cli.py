@@ -124,3 +124,97 @@ def test_no_warping_flag(capsys, source_file):
     ])
     payload = json.loads(out)
     assert "warps" not in payload
+
+
+def test_list_kernels_json_sizes_footprints_and_counts(capsys):
+    payload = json.loads(run(capsys, ["list-kernels", "--json"]))
+    gemm = payload["gemm"]
+    assert gemm["category"] == "linear-algebra/blas"
+    assert gemm["is_stencil"] is False
+    assert set(gemm["sizes"]) == {"MINI", "SMALL", "MEDIUM", "LARGE",
+                                  "EXTRALARGE"}
+    mini = gemm["sizes"]["MINI"]
+    assert mini["params"] == {"NI": 20, "NJ": 25, "NK": 30}
+    assert mini["footprint_bytes"] > 0
+    # counts default to MINI only (counting enumerates the loop nest)
+    assert mini["accesses"] == 20 * 25 * 2 + 20 * 30 * 25 * 4
+    assert "accesses" not in gemm["sizes"]["LARGE"]
+    assert payload["jacobi-2d"]["is_stencil"] is True
+
+
+def test_list_kernels_json_counts_flag(capsys):
+    payload = json.loads(run(capsys, [
+        "list-kernels", "--json", "--counts", ""]))
+    assert "accesses" not in payload["gemm"]["sizes"]["MINI"]
+    with pytest.raises(SystemExit):
+        main(["list-kernels", "--json", "--counts", "HUGE"])
+    with pytest.raises(SystemExit):  # validated in text mode too
+        main(["list-kernels", "--counts", "HUGE"])
+
+
+def test_simulate_with_transform(capsys):
+    args = ["--kernel", "mvt", "--size", '{"N": 16}',
+            "--l1-size", "512", "--l1-assoc", "4", "--block-size", "16",
+            "--l1-policy", "lru", "--json"]
+    plain = json.loads(run(capsys, ["simulate"] + args))
+    tiled = json.loads(run(capsys, [
+        "simulate", "--transform", "tile(i,j:4x4)"] + args))
+    assert tiled["accesses"] == plain["accesses"]
+    assert tiled["transform"] == "tile(i,j:4x4)"
+    assert "transform" not in plain
+
+
+def test_simulate_transform_errors_exit_cleanly(capsys):
+    for bad in ("tile(", "tile(i,j:4x4)"):
+        with pytest.raises(SystemExit) as err:
+            main(["simulate", "--kernel", "gemm", "--size", "MINI",
+                  "--transform", bad, "--json"])
+        assert "--transform" in str(err.value)
+
+
+def test_transform_subcommand_text(capsys):
+    out = run(capsys, [
+        "transform", "--kernel", "mvt", "--size", '{"N": 12}',
+        "--transform", "tile(i,j:4x4)", "--counts"])
+    assert "mvt  [tile(i,j:4x4)]" in out
+    assert "for ii = 0 .. 11 step 4:" in out
+    assert "read A[i][j]" in out
+    assert "accesses: 1152" in out
+
+
+def test_transform_subcommand_json(capsys):
+    payload = json.loads(run(capsys, [
+        "transform", "--kernel", "mvt", "--size", '{"N": 12}',
+        "--transform", "tile(i,j:4x4); interchange(jj,i)", "--json",
+        "--counts"]))
+    assert payload["transform"] == "tile(i,j:4x4); interchange(jj,i)"
+    assert payload["loops"] == 8  # two nests of ii, i, jj, j
+    assert payload["access_nodes"] == 8
+    assert payload["accesses"] == 12 * 12 * 4 * 2
+    assert payload["accesses_by_array"]["A"] == 2 * 12 * 12
+    assert "for" in payload["nest"]
+
+
+def test_transform_subcommand_source_program(capsys, source_file):
+    out = run(capsys, [
+        "transform", "--source", source_file,
+        "--transform", "strip_mine(i:64)"])
+    assert "for ii = 1 .. 198 step 64:" in out
+
+
+def test_sweep_transforms_dimension(tmp_path, capsys):
+    store = str(tmp_path / "campaign.jsonl")
+    base = ["sweep", "--kernels", "mvt", "--sizes", "MINI",
+            "--l1-sizes", "512", "--l1-assocs", "4",
+            "--l1-policies", "lru", "--block-sizes", "16",
+            "--store", store, "--json"]
+    first = json.loads(run(capsys, base))
+    assert (first["total"], first["computed"]) == (1, 1)
+    second = json.loads(run(capsys, base + [
+        "--transform", "", "--transform", "tile(i,j:8x8)"]))
+    assert second["total"] == 2
+    assert second["loaded"] == 1   # untransformed point: same key
+    assert second["computed"] == 1
+    transforms = {r["point"].get("transform")
+                  for r in second["records"]}
+    assert transforms == {None, "tile(i,j:8x8)"}

@@ -1,0 +1,383 @@
+"""Unit tests for repro.transform: primitives, pipeline grammar,
+registry integration and the nest renderer."""
+
+import pytest
+
+from repro.isl.affine import LinExpr
+from repro.polybench import build_kernel
+from repro.polyhedral import ScopBuilder
+from repro.simulation.trace import materialize_trace
+from repro.transform import (
+    IncompatibleLoopsError,
+    NotPerfectlyNestedError,
+    NotPermutableError,
+    Pipeline,
+    PipelineSyntaxError,
+    TransformError,
+    TransformStep,
+    UnknownIteratorError,
+    apply_pipeline,
+    canonical_spec,
+    distribute,
+    fuse,
+    interchange,
+    render_scop,
+    reverse,
+    strip_mine,
+    tile,
+)
+
+BLOCK = 16
+
+
+def rectangle(n=7, m=5):
+    """for i < n: for j < m: read A[i][j]; write B[j]"""
+    b = ScopBuilder("rect")
+    A = b.array("A", (n, m))
+    B = b.array("B", (m,))
+    with b.loop("i", 0, n):
+        with b.loop("j", 0, m):
+            b.read(A, b.i, b.j)
+            b.write(B, b.j)
+    return b.build()
+
+
+def triangle(n=8):
+    """for i < n: for j <= i: read A[i][j]"""
+    b = ScopBuilder("tri")
+    A = b.array("A", (n, n))
+    with b.loop("i", 0, n):
+        with b.loop("j", 0, b.i, upper_inclusive=True):
+            b.read(A, b.i, b.j)
+    return b.build()
+
+
+def trace(scop):
+    return materialize_trace(scop, BLOCK)
+
+
+# -- strip-mine ---------------------------------------------------------------------
+
+
+def test_strip_mine_preserves_order_exactly():
+    original = rectangle()
+    mined = strip_mine(rectangle(), "i", 3)
+    assert trace(mined) == trace(original)
+
+
+def test_strip_mine_structure():
+    mined = strip_mine(rectangle(), "i", 3)
+    outer = mined.roots[0]
+    assert outer.iterator == "ii" and outer.stride == 3
+    inner = outer.children[0]
+    assert inner.iterator == "i" and inner.stride == 1
+    assert inner.dims == ("ii", "i")
+    # partial final tile: 7 = 3 + 3 + 1 iterations, counts unchanged
+    assert mined.count_accesses() == rectangle().count_accesses()
+
+
+def test_strip_mine_non_rectangular_is_exact():
+    original = triangle()
+    mined = strip_mine(triangle(), "j", 3)
+    assert trace(mined) == trace(original)
+
+
+def test_strip_mine_unknown_iterator():
+    with pytest.raises(UnknownIteratorError):
+        strip_mine(rectangle(), "z", 4)
+
+
+def test_strip_mine_rejects_degenerate_size():
+    with pytest.raises(TransformError):
+        strip_mine(rectangle(), "i", 1)
+
+
+def test_strip_mine_name_collision_auto_uniquifies():
+    b = ScopBuilder("clash")
+    A = b.array("A", (4, 4))
+    with b.loop("i", 0, 4):
+        with b.loop("ii", 0, 4):
+            b.read(A, b.i, b.iter_expr("ii"))
+    original = b.build()
+    mined = strip_mine(original, "i", 2)
+    assert [loop.iterator for loop in mined.loop_nodes()] == \
+        ["iii", "i", "ii"]
+    assert trace(mined) == trace(original)
+
+
+def test_multi_level_tiling_through_the_grammar():
+    original = build_kernel("mvt", {"N": 20})
+    tiled = build_kernel("mvt", {"N": 20},
+                         transform="tile(i,j:8x8); tile(i,j:2x2)")
+    assert [loop.iterator for loop in tiled.loop_nodes()] == \
+        ["ii", "jj", "iii", "jjj", "i", "j"] * 2
+    assert sorted(trace(tiled)) == sorted(trace(original))
+
+
+def test_strip_mine_strided_loop():
+    b = ScopBuilder("strided")
+    A = b.array("A", (32,))
+    with b.loop("i", 0, 32, stride=2):
+        b.read(A, b.i)
+    original = b.build()
+    mined = strip_mine(original, "i", 4)
+    assert trace(mined) == trace(original)
+    assert mined.roots[0].stride == 8  # 4 iterations x stride 2
+
+
+# -- tile ---------------------------------------------------------------------------
+
+
+def test_tile_reorders_but_preserves_multiset():
+    original = rectangle()
+    tiled = tile(rectangle(), ("i", "j"), (3, 2))
+    assert sorted(trace(tiled)) == sorted(trace(original))
+    assert trace(tiled) != trace(original)  # order genuinely changed
+    iterators = [loop.iterator for loop in tiled.loop_nodes()]
+    assert iterators == ["ii", "jj", "i", "j"]
+
+
+def test_tile_single_size_broadcasts():
+    a = tile(rectangle(), ("i", "j"), (4,))
+    b = tile(rectangle(), ("i", "j"), (4, 4))
+    assert trace(a) == trace(b)
+
+
+def test_tile_triangular_band_rejected():
+    with pytest.raises(NotPermutableError):
+        tile(triangle(), ("i", "j"), (4, 4))
+
+
+def test_tile_imperfect_nest_rejected():
+    # gemm: the i loop has two loop children -> (i, j) is not a chain.
+    with pytest.raises(NotPerfectlyNestedError):
+        tile(build_kernel("gemm", "MINI"), ("i", "j"), (8, 8))
+
+
+def test_tile_unknown_iterator():
+    with pytest.raises(UnknownIteratorError):
+        tile(rectangle(), ("z", "j"), (4, 4))
+
+
+def test_tile_applies_to_every_matching_nest():
+    # mvt has two (i, j) nests; both must be tiled.
+    tiled = tile(build_kernel("mvt", {"N": 12}), ("i", "j"), (4, 4))
+    assert [loop.iterator for loop in tiled.loop_nodes()] == \
+        ["ii", "jj", "i", "j"] * 2
+
+
+# -- interchange --------------------------------------------------------------------
+
+
+def test_interchange_swaps_loops():
+    swapped = interchange(rectangle(), "i", "j")
+    assert [loop.iterator for loop in swapped.loop_nodes()] == ["j", "i"]
+    assert sorted(trace(swapped)) == sorted(trace(rectangle()))
+
+
+def test_interchange_is_involutive():
+    back = interchange(interchange(rectangle(), "i", "j"), "j", "i")
+    assert trace(back) == trace(rectangle())
+
+
+def test_interchange_triangular_rejected():
+    with pytest.raises(NotPermutableError):
+        interchange(triangle(), "i", "j")
+
+
+def test_interchange_not_perfectly_nested():
+    b = ScopBuilder("imperfect")
+    A = b.array("A", (6, 6))
+    v = b.array("v", (6,))
+    with b.loop("i", 0, 6):
+        b.read(v, b.i)
+        with b.loop("j", 0, 6):
+            b.read(A, b.i, b.j)
+    with pytest.raises(NotPerfectlyNestedError):
+        interchange(b.build(), "i", "j")
+
+
+# -- reverse ------------------------------------------------------------------------
+
+
+def test_reverse_reverses_innermost_blocks():
+    original = rectangle()
+    reversed_scop = reverse(rectangle(), "j")
+    expected = []
+    row = []
+    for entry in trace(original):
+        row.append(entry)
+        if len(row) == 10:  # 5 j-iterations x 2 accesses
+            for j in range(4, -1, -1):
+                expected.extend(row[2 * j:2 * j + 2])
+            row = []
+    assert trace(reversed_scop) == expected
+
+
+def test_reverse_twice_is_identity():
+    back = reverse(reverse(rectangle(), "i"), "i")
+    assert trace(back) == trace(rectangle())
+
+
+def test_reverse_triangular_is_exact():
+    rev = reverse(triangle(), "j")
+    assert sorted(trace(rev)) == sorted(trace(triangle()))
+    assert rev.count_accesses() == triangle().count_accesses()
+
+
+# -- fuse / distribute --------------------------------------------------------------
+
+
+def test_distribute_then_fuse_roundtrip():
+    original = rectangle()
+    split = distribute(rectangle(), "j")
+    loops = list(split.loop_nodes())
+    assert [loop.iterator for loop in loops] == ["i", "j", "j"]
+    refused = fuse(split, "j")
+    assert trace(refused) == trace(original)
+
+
+def test_distribute_single_child_is_noop():
+    scop = distribute(rectangle(), "i")
+    assert trace(scop) == trace(rectangle())
+
+
+def test_fuse_renames_sibling_iterator():
+    b = ScopBuilder("two")
+    A = b.array("A", (8,))
+    B = b.array("B", (8,))
+    with b.loop("i", 0, 8):
+        b.read(A, b.i)
+    with b.loop("k", 0, 8):
+        b.write(B, b.k)
+    fused = fuse(b.build(), "i")
+    assert len(fused.roots) == 1
+    assert [n.array.name for n in fused.access_nodes()] == ["A", "B"]
+    assert fused.count_accesses() == 16
+
+
+def test_fuse_different_domains_rejected():
+    b = ScopBuilder("uneven")
+    A = b.array("A", (8,))
+    with b.loop("i", 0, 8):
+        b.read(A, b.i)
+    with b.loop("j", 0, 7):
+        b.read(A, b.j)
+    with pytest.raises(IncompatibleLoopsError):
+        fuse(b.build(), "i")
+
+
+def test_fuse_without_sibling_rejected():
+    with pytest.raises(IncompatibleLoopsError):
+        fuse(rectangle(), "i")
+
+
+# -- guarded accesses survive transforms --------------------------------------------
+
+
+def test_transform_preserves_guards():
+    b = ScopBuilder("guarded")
+    A = b.array("A", (12,))
+    with b.loop("i", 0, 12):
+        b.read(A, b.i, guard=[LinExpr.var("i") - 4])  # only i >= 4
+    original = b.build()
+    mined = strip_mine(b.build(), "i", 5)
+    assert trace(mined) == trace(original)
+    assert mined.count_accesses() == 8
+
+
+# -- pipeline grammar ---------------------------------------------------------------
+
+
+def test_pipeline_parse_and_canonical_spec():
+    pipeline = Pipeline.parse(
+        "  TILE ( i , j : 32 x 8 ) ; swap(jj,i); reverse(k);")
+    assert pipeline.spec() == \
+        "tile(i,j:32x8); interchange(jj,i); reverse(k)"
+    assert canonical_spec("tile( i, j :16)") == "tile(i,j:16x16)"
+
+
+def test_pipeline_json_roundtrip():
+    pipeline = Pipeline.parse("tile(i,j:8x8); fuse(i)")
+    clone = Pipeline.from_json(pipeline.to_json())
+    assert clone == pipeline
+    assert clone.spec() == pipeline.spec()
+    assert Pipeline.from_json(pipeline) is pipeline
+
+
+@pytest.mark.parametrize("bad", [
+    "tile(i,j)",              # missing sizes
+    "tile(i:0)",              # degenerate size
+    "tile(:8)",               # no iterators
+    "interchange(i)",         # arity
+    "interchange(i,j,k)",     # arity
+    "reverse(i:4)",           # sizes on a size-less op
+    "frobnicate(i)",          # unknown op
+    "tile(i j:8)",            # bad identifier
+    "tile(i,j:axb)",          # malformed sizes
+    "reverse i",              # not a call
+])
+def test_pipeline_rejects_bad_specs(bad):
+    with pytest.raises(PipelineSyntaxError):
+        Pipeline.parse(bad)
+
+
+def test_pipeline_empty_means_no_transform():
+    scop = rectangle()
+    assert apply_pipeline(scop, None) is scop
+    assert apply_pipeline(scop, "") is scop
+    assert apply_pipeline(scop, " ; ") is scop
+    assert canonical_spec("") == ""
+
+
+def test_transform_step_validation():
+    with pytest.raises(PipelineSyntaxError):
+        TransformStep("tile", ("i",), ())
+    with pytest.raises(PipelineSyntaxError):
+        TransformStep("reverse", ("not an ident",))
+    step = TransformStep("stripmine", ("i",), (4,))
+    assert step.op == "strip_mine" and step.spec() == "strip_mine(i:4)"
+
+
+# -- registry integration -----------------------------------------------------------
+
+
+def test_build_kernel_transform():
+    plain = build_kernel("mvt", {"N": 10})
+    tiled = build_kernel("mvt", {"N": 10}, transform="tile(i,j:4x4)")
+    assert tiled.count_accesses_by_array() == \
+        plain.count_accesses_by_array()
+    assert sorted(trace(tiled)) == sorted(trace(plain))
+
+
+def test_build_kernel_transform_errors_propagate():
+    with pytest.raises(NotPerfectlyNestedError):
+        build_kernel("gemm", "MINI", transform="tile(i,j:8x8)")
+    with pytest.raises(PipelineSyntaxError):
+        build_kernel("mvt", "MINI", transform="tile(")
+
+
+# -- renderer -----------------------------------------------------------------------
+
+
+def test_render_scop_shows_bounds_strides_and_accesses():
+    text = render_scop(tile(rectangle(), ("i", "j"), (3, 2)))
+    assert "for ii = 0 .. 6 step 3:" in text
+    assert "for jj = 0 .. 4 step 2:" in text
+    assert "for i = max(0, ii) .. min(6, ii + 2):" in text
+    assert "read A[i][j]" in text
+    assert "write B[j]" in text
+
+
+def test_render_scop_triangular_bounds():
+    text = render_scop(triangle())
+    assert "for j = 0 .. i:" in text
+
+
+def test_render_scop_guard():
+    b = ScopBuilder("guarded")
+    A = b.array("A", (12,))
+    with b.loop("i", 0, 12):
+        b.read(A, b.i, guard=[LinExpr.var("i") - 4])
+    text = render_scop(b.build())
+    assert "read A[i]  if" in text and "i - 4 >= 0" in text

@@ -1,0 +1,160 @@
+"""Differential tests on transformed kernels (the paper's hardest
+warping regime): for PolyBench kernels under tiling and interchange,
+the warping simulator must match the nonwarping reference miss for
+miss, at every hierarchy level, and every legal pipeline must preserve
+per-array access counts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.polybench import build_kernel
+from repro.simulation import simulate_nonwarping, simulate_warping
+from repro.transform import TransformError, apply_pipeline
+
+BLOCK = 16
+
+#: (kernel, scaled-down size) pairs on which tile(..) and interchange(..)
+#: are legal — the band loops are rectangular and perfectly nested.
+KERNELS = {
+    "2mm": {"NI": 8, "NJ": 10, "NK": 11, "NL": 9},
+    "3mm": {"NI": 8, "NJ": 9, "NK": 10, "NL": 8, "NM": 9},
+    "mvt": {"N": 20},
+    "doitgen": {"NQ": 6, "NR": 7, "NP": 8},
+    "jacobi-2d": {"TSTEPS": 3, "N": 14},
+}
+
+#: iterator band per kernel (doitgen's perfect chain is (r, q))
+BANDS = {
+    "2mm": ("i", "j"),
+    "3mm": ("i", "j"),
+    "mvt": ("i", "j"),
+    "doitgen": ("r", "q"),
+    "jacobi-2d": ("i", "j"),
+}
+
+TRANSFORMS = ["tile:8", "tile:32", "interchange"]
+
+
+def pipeline_for(kernel: str, transform: str) -> str:
+    a, b = BANDS[kernel]
+    if transform.startswith("tile:"):
+        size = transform.split(":")[1]
+        return f"tile({a},{b}:{size}x{size})"
+    return f"interchange({a},{b})"
+
+
+def config_for(depth: int, policy: str = "plru"):
+    l1 = CacheConfig(512, 4, BLOCK, policy, name="L1")
+    if depth == 1:
+        return l1
+    l2 = CacheConfig(4096, 8, BLOCK, "qlru", name="L2")
+    return HierarchyConfig(l1, l2)
+
+
+@pytest.mark.parametrize("depth", [1, 2])
+@pytest.mark.parametrize("transform", TRANSFORMS)
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_warping_matches_reference_on_transformed_kernels(
+        kernel, transform, depth):
+    spec = pipeline_for(kernel, transform)
+    scop = build_kernel(kernel, KERNELS[kernel], transform=spec)
+    config = config_for(depth)
+    target = (CacheHierarchy(config) if depth > 1 else Cache(config))
+    reference = simulate_nonwarping(scop, target)
+    warped = simulate_warping(scop, config)
+    assert warped.accesses == reference.accesses, (kernel, spec)
+    for ref_level, warp_level in zip(reference.levels, warped.levels):
+        assert warp_level.misses == ref_level.misses, (kernel, spec)
+        assert warp_level.hits == ref_level.hits, (kernel, spec)
+
+
+@pytest.mark.parametrize("policy", ["lru", "fifo", "qlru"])
+def test_warping_matches_reference_across_policies(policy):
+    """The transformed differential also holds for the other
+    replacement policies (tile 8 on mvt, both depths)."""
+    scop = build_kernel("mvt", KERNELS["mvt"],
+                        transform=pipeline_for("mvt", "tile:8"))
+    for depth in (1, 2):
+        config = config_for(depth, policy)
+        target = (CacheHierarchy(config) if depth > 1 else Cache(config))
+        reference = simulate_nonwarping(scop, target)
+        warped = simulate_warping(scop, config)
+        for ref_level, warp_level in zip(reference.levels,
+                                         warped.levels):
+            assert warp_level.misses == ref_level.misses, (policy, depth)
+
+
+@pytest.mark.parametrize("transform", TRANSFORMS)
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_transforms_preserve_per_array_access_counts(kernel, transform):
+    plain = build_kernel(kernel, KERNELS[kernel])
+    transformed = apply_pipeline(
+        build_kernel(kernel, KERNELS[kernel]),
+        pipeline_for(kernel, transform))
+    assert transformed.count_accesses_by_array() == \
+        plain.count_accesses_by_array()
+
+
+# -- property test: any legal pipeline preserves the access counts ------------------
+
+_STEPS = st.sampled_from([
+    "tile(i,j:3x3)",
+    "tile(i,j:4x2)",
+    "strip_mine(i:3)",
+    "strip_mine(j:4)",
+    "strip_mine(ii:2)",
+    "interchange(i,j)",
+    "interchange(j,i)",
+    "interchange(ii,jj)",
+    "interchange(jj,i)",
+    "reverse(i)",
+    "reverse(j)",
+    "reverse(ii)",
+    "fuse(i)",
+    "fuse(j)",
+    "distribute(i)",
+    "distribute(j)",
+])
+
+
+@settings(deadline=None, max_examples=60)
+@given(steps=st.lists(_STEPS, min_size=1, max_size=4))
+def test_legal_pipelines_preserve_counts(steps):
+    """Whatever composition of primitives applies cleanly, the dynamic
+    per-array access counts are invariant (compositions that violate a
+    precondition raise a typed TransformError and are skipped)."""
+    plain = build_kernel("mvt", {"N": 11})
+    expected = plain.count_accesses_by_array()
+    scop = build_kernel("mvt", {"N": 11})
+    applied = 0
+    for step in steps:
+        try:
+            scop = apply_pipeline(scop, step)
+            applied += 1
+        except TransformError:
+            continue
+    if applied:
+        assert scop.count_accesses_by_array() == expected
+
+
+@settings(deadline=None, max_examples=30)
+@given(steps=st.lists(_STEPS, min_size=1, max_size=3))
+def test_legal_pipelines_stay_warpable(steps):
+    """Pipelines that apply cleanly still simulate exactly: warping
+    equals the nonwarping reference on the transformed nest."""
+    scop = build_kernel("mvt", {"N": 11})
+    applied = 0
+    for step in steps:
+        try:
+            scop = apply_pipeline(scop, step)
+            applied += 1
+        except TransformError:
+            continue
+    config = CacheConfig(256, 2, BLOCK, "lru")
+    reference = simulate_nonwarping(scop, Cache(config))
+    warped = simulate_warping(scop, config)
+    assert warped.l1_misses == reference.l1_misses
+    assert warped.accesses == reference.accesses

@@ -1,0 +1,107 @@
+"""The transforms dimension of the sweep engine: grid expansion,
+resume compatibility with pre-transform stores, and analysis output."""
+
+import pytest
+
+from repro.explore.frontier import pareto_frontier
+from repro.explore.report import frontier_table, sweep_table
+from repro.explore.runner import run_sweep
+from repro.explore.spec import SweepPoint, SweepSpec
+from repro.explore.store import JsonlStore
+from repro.transform import PipelineSyntaxError
+
+BASE = dict(kernels=["mvt"], sizes=[{"N": 16}], l1_sizes=[512],
+            l1_assocs=[4], l1_policies=["lru"], block_sizes=[16])
+
+
+def test_transforms_cross_the_grid():
+    spec = SweepSpec(transforms=["", "tile(i,j:4x4)",
+                                 "interchange(i,j)"], **BASE)
+    points = spec.expand()
+    assert len(points) == 3
+    assert sorted(p.transform for p in points) == \
+        ["", "interchange(i,j)", "tile(i,j:4x4)"]
+    assert spec.grid_size() == 3
+
+
+def test_spec_canonicalises_and_validates_transforms():
+    spec = SweepSpec(transforms=["TILE( i,j : 4 )"], **BASE)
+    assert spec.transforms == ["tile(i,j:4x4)"]
+    with pytest.raises(PipelineSyntaxError):
+        SweepSpec(transforms=["tile("], **BASE)
+
+
+def test_spec_json_roundtrip_keeps_transforms():
+    spec = SweepSpec(transforms=["", "tile(i,j:4x4)"], **BASE)
+    clone = SweepSpec.from_dict(spec.to_dict())
+    assert clone.transforms == spec.transforms
+    assert [p.key() for p in clone.expand()] == \
+        [p.key() for p in spec.expand()]
+
+
+def test_transform_sweep_resumes_from_pretransform_store(tmp_path):
+    """Acceptance: a sweep growing a transforms dimension must load the
+    untransformed points from a store written before the axis existed,
+    not re-run them."""
+    path = str(tmp_path / "campaign.jsonl")
+    baseline = SweepSpec(**BASE)
+    with JsonlStore(path) as store:
+        first = run_sweep(baseline, store=store)
+    assert (first.total, first.computed, first.errors) == (1, 1, 0)
+    baseline_key = baseline.expand()[0].key()
+
+    widened = SweepSpec(transforms=["", "tile(i,j:4x4)",
+                                    "interchange(i,j)"], **BASE)
+    with JsonlStore(path) as store:
+        second = run_sweep(widened, store=store)
+    assert second.total == 3
+    assert second.loaded == 1      # the untransformed point: loaded,
+    assert second.computed == 2    # only the transformed ones ran
+    assert second.errors == 0
+    assert any(r["key"] == baseline_key for r in second.records)
+    # All three simulate the same accesses; misses differ by schedule.
+    accesses = {r["result"]["accesses"] for r in second.ok_records}
+    assert len(accesses) == 1
+
+
+def test_illegal_transform_is_an_error_record(tmp_path):
+    """A transform that is illegal for a kernel fails that point only
+    (status=error), without taking down the campaign."""
+    spec = SweepSpec(kernels=["gemm"], sizes=[{"NI": 6, "NJ": 6,
+                                               "NK": 6}],
+                     l1_sizes=[512], l1_assocs=[4],
+                     l1_policies=["lru"], block_sizes=[16],
+                     transforms=["", "tile(i,j:4x4)"])
+    outcome = run_sweep(spec)
+    assert outcome.total == 2
+    assert outcome.errors == 1
+    failed = [r for r in outcome.records if r["status"] == "error"]
+    assert len(failed) == 1
+    assert "perfectly nested" in failed[0]["error"]
+
+
+def test_frontier_trades_tiling_against_misses():
+    grid = dict(BASE, sizes=[{"N": 24}])  # working set 3x the cache
+    spec = SweepSpec(transforms=["", "tile(i,j:4x4)", "tile(i,j:8x8)"],
+                     **grid)
+    outcome = run_sweep(spec)
+    assert outcome.errors == 0
+    frontier = pareto_frontier(outcome.ok_records,
+                               ["capacity", "l1_misses"])
+    # Tiling reduces misses at this working-set:capacity ratio, so the
+    # frontier keeps a tiled schedule (capacity ties break by misses).
+    assert all(r["point"].get("transform") for r in frontier)
+    best = min(outcome.ok_records,
+               key=lambda r: r["result"]["l1_misses"])
+    assert best["point"].get("transform")
+
+    table = frontier_table(frontier, ["capacity", "l1_misses"])
+    assert "mvt [tile(i,j:" in table
+    assert "mvt [tile(i,j:" in sweep_table(outcome.ok_records)
+
+
+def test_points_differing_only_in_transform_have_distinct_keys():
+    spec = SweepSpec(transforms=["", "tile(i,j:4x4)", "reverse(j)"],
+                     **BASE)
+    keys = [p.key() for p in spec.expand()]
+    assert len(set(keys)) == 3
