@@ -1,0 +1,14 @@
+/* A mini-C SCoP for `repro simulate --source examples/kernel.c`:
+ * a 1D Jacobi-style sweep (see docs/frontend.md for the subset). */
+void kernel_example(int n) {
+  double A[256];
+  double B[256];
+  for (int t = 0; t < 4; t++) {
+    for (int i = 1; i < 255; i++) {
+      B[i] = A[i-1] + A[i] + A[i+1];
+    }
+    for (int i = 1; i < 255; i++) {
+      A[i] = B[i];
+    }
+  }
+}

@@ -31,6 +31,9 @@ Package map:
 * :mod:`repro.transform` — polyhedral schedule transformations
   (tiling, interchange, reversal, fusion, distribution) with a
   composable pipeline grammar.
+* :mod:`repro.perf` — the performance layer: set-sharded parallel
+  simulation, warp-interval memoization, the ``repro bench``
+  trajectory harness.
 
 Design-space sweeps::
 
@@ -62,6 +65,7 @@ from repro.explore import (
     policy_sensitivity,
     run_sweep,
 )
+from repro.perf import WarpMemo, scop_signature, shard_simulate
 from repro.polybench import build_kernel, all_kernel_names
 from repro.polyhedral import ScopBuilder
 from repro.simulation import (
@@ -78,7 +82,9 @@ from repro.transform import (
     render_scop,
 )
 
-__version__ = "1.0.0"
+#: Single source of the package version: ``setup.py`` parses this
+#: assignment and the CLI exposes it as ``repro --version``.
+__version__ = "1.1.0"
 
 __all__ = [
     "Cache",
@@ -90,6 +96,7 @@ __all__ = [
     "Pipeline",
     "TransformError",
     "TransformStep",
+    "WarpMemo",
     "WritePolicy",
     "ScopBuilder",
     "SimulationResult",
@@ -98,6 +105,8 @@ __all__ = [
     "SweepSpec",
     "apply_pipeline",
     "render_scop",
+    "scop_signature",
+    "shard_simulate",
     "simulate_nonwarping",
     "simulate_warping",
     "build_kernel",

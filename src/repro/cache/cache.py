@@ -80,6 +80,14 @@ class Cache:
     Implements ``ClCache``/``UpCache`` (Eqs. 3-4).  Counts hits and
     misses; classification does not distinguish reads from writes except
     for allocation under :class:`WritePolicy`.
+
+    >>> from repro import Cache, CacheConfig
+    >>> cache = Cache(CacheConfig(size_bytes=256, assoc=2,
+    ...                           block_size=32, policy="lru"))
+    >>> cache.access(0), cache.access(0), cache.access(4)
+    (False, True, False)
+    >>> (cache.hits, cache.misses, cache.contains(4))
+    (1, 2, True)
     """
 
     def __init__(self, config: CacheConfig,
@@ -173,6 +181,9 @@ class Cache:
         """Some memory block mapping to cache set ``index``."""
         from repro.cache.config import IndexFunction
 
+        rep = getattr(self.config, "representative_block", None)
+        if rep is not None:
+            return rep(index)
         if self.config.index_function is IndexFunction.MODULO:
             return index
         for candidate in range(4 * self.config.num_sets):

@@ -13,6 +13,10 @@ class WritePolicy(enum.Enum):
     The hit/miss model abstracts from write-back vs write-through (which
     only affects traffic, not hit/miss classification); what matters for
     miss counts is whether a write miss *allocates* the block.
+
+    >>> from repro import WritePolicy
+    >>> WritePolicy("no-write-allocate") is WritePolicy.NO_WRITE_ALLOCATE
+    True
     """
 
     WRITE_ALLOCATE = "write-allocate"
@@ -43,6 +47,12 @@ class InclusionPolicy(enum.Enum):
     inclusive and exclusive hierarchies "also satisfy data independence
     and could be captured in a similar manner"; all three are modelled
     (see :mod:`repro.cache.hierarchy`).
+
+    >>> from repro import InclusionPolicy
+    >>> InclusionPolicy.parse("inclusive") is InclusionPolicy.INCLUSIVE
+    True
+    >>> InclusionPolicy.parse(None) is InclusionPolicy.NINE
+    True
     """
 
     NINE = "non-inclusive non-exclusive"
@@ -79,6 +89,14 @@ class CacheConfig:
         write_policy: allocation behaviour for write misses.
         index_function: block -> set mapping scheme.
         name: label used in reports ("L1", "L2", ...).
+
+    >>> from repro import CacheConfig
+    >>> config = CacheConfig(size_bytes=32 * 1024, assoc=8,
+    ...                      block_size=64, policy="plru")
+    >>> config.num_sets
+    64
+    >>> config.index_of(130)
+    2
     """
 
     size_bytes: int
@@ -136,6 +154,112 @@ class CacheConfig:
         return CacheConfig(size_bytes, assoc, block_size, policy, name=name)
 
 
+@dataclass(frozen=True)
+class ShardedCacheConfig(CacheConfig):
+    """One shard of a modulo-indexed cache level (set sharding).
+
+    Cache sets never interact, so a simulation can be partitioned by
+    cache set: shard ``r`` of ``K`` owns the memory blocks with
+    ``block % K == r``, which under modulo placement is a union of
+    every ``K``-th cache set.  The shard behaves exactly like the
+    corresponding sets of the full cache: it has ``num_sets / K`` sets
+    and maps an owned block to set ``(block // K) % (num_sets / K)``,
+    which is a bijective renumbering of the full cache's sets
+    ``r, r + K, r + 2K, ...`` — the per-set access sequences (and hence
+    hit/miss counts) are identical to the full simulation's.
+
+    ``size_bytes``/``assoc``/``block_size`` describe the FULL level;
+    :attr:`num_sets` reports the shard's share.  Only ``MODULO``
+    indexing is shardable (hashed indexing does not refine into
+    residue classes); ``shard_modulus`` must divide the full set count.
+
+    Use :meth:`of` to shard an existing level config, or
+    :func:`shard_target_config` for whole cache/hierarchy configs.
+    """
+
+    shard_modulus: int = 1
+    shard_residue: int = 0
+
+    def __post_init__(self):
+        if self.shard_modulus < 1:
+            raise ValueError("shard_modulus must be >= 1")
+        if not 0 <= self.shard_residue < self.shard_modulus:
+            raise ValueError(
+                f"shard_residue {self.shard_residue} outside "
+                f"[0, {self.shard_modulus})")
+        super().__post_init__()
+        if self.index_function is not IndexFunction.MODULO:
+            raise ValueError("set sharding requires modulo placement")
+        full_sets = self.size_bytes // (self.assoc * self.block_size)
+        if full_sets % self.shard_modulus != 0:
+            raise ValueError(
+                f"{self.name}: shard modulus {self.shard_modulus} does "
+                f"not divide the set count {full_sets}")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets owned by this shard."""
+        full = self.size_bytes // (self.assoc * self.block_size)
+        return full // self.shard_modulus
+
+    def index_of(self, block: int) -> int:
+        """Shard-local set index of an owned block.
+
+        Only blocks with ``block % shard_modulus == shard_residue``
+        belong to this shard; the caller filters the access stream.
+        """
+        return (block // self.shard_modulus) % self.num_sets
+
+    def representative_block(self, index: int) -> int:
+        """Some owned memory block mapping to shard set ``index``."""
+        return index * self.shard_modulus + self.shard_residue
+
+    @staticmethod
+    def of(config: CacheConfig, modulus: int,
+           residue: int) -> "ShardedCacheConfig":
+        """The ``residue``-th of ``modulus`` shards of a level config."""
+        return ShardedCacheConfig(
+            config.size_bytes, config.assoc, config.block_size,
+            config.policy, config.write_policy, config.index_function,
+            config.name, modulus, residue)
+
+
+def shardable_ways(config: Union[CacheConfig, "HierarchyConfig"],
+                   requested: int) -> int:
+    """Largest feasible shard count ``K <= requested`` for a config.
+
+    ``K`` must divide every level's set count (the innermost level has
+    the fewest sets, and every outer count is a multiple of it, so
+    dividing the minimum suffices) and every level must use modulo
+    placement.  Returns 1 when sharding is not applicable.
+    """
+    levels = (config.levels if isinstance(config, HierarchyConfig)
+              else (config,))
+    if requested < 2:
+        return 1
+    for level in levels:
+        if level.index_function is not IndexFunction.MODULO:
+            return 1
+        if isinstance(level, ShardedCacheConfig):
+            return 1  # already a shard: do not shard twice
+    base = min(level.num_sets for level in levels)
+    k = min(requested, base)
+    while base % k:
+        k -= 1
+    return k
+
+
+def shard_target_config(config: Union[CacheConfig, "HierarchyConfig"],
+                        modulus: int, residue: int):
+    """Shard a cache or hierarchy config (every level consistently)."""
+    if isinstance(config, HierarchyConfig):
+        return HierarchyConfig(
+            levels=tuple(ShardedCacheConfig.of(level, modulus, residue)
+                         for level in config.levels),
+            inclusion=config.inclusion)
+    return ShardedCacheConfig.of(config, modulus, residue)
+
+
 @dataclass(frozen=True, init=False)
 class HierarchyConfig:
     """An N-level cache hierarchy (paper Sec. 2.3, generalised).
@@ -153,6 +277,14 @@ class HierarchyConfig:
         HierarchyConfig(l1_cfg, l2_cfg, l3_cfg)      # N positional levels
         HierarchyConfig(levels=(a, b, c),
                         inclusion=InclusionPolicy.INCLUSIVE)
+
+    >>> from repro import CacheConfig, HierarchyConfig
+    >>> config = HierarchyConfig(
+    ...     levels=(CacheConfig(32 * 1024, 8, 64, "plru", name="L1"),
+    ...             CacheConfig(1024 * 1024, 16, 64, "qlru", name="L2")),
+    ...     inclusion="nine")
+    >>> (config.depth, config.block_size, config.l2.name)
+    (2, 64, 'L2')
     """
 
     levels: Tuple[CacheConfig, ...]

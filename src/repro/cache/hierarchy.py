@@ -38,7 +38,19 @@ __all__ = ["CacheHierarchy", "InclusionPolicy"]
 
 
 class CacheHierarchy:
-    """An N-level hierarchy under a configurable inclusion policy."""
+    """An N-level hierarchy under a configurable inclusion policy.
+
+    >>> from repro import CacheConfig, CacheHierarchy, HierarchyConfig
+    >>> hierarchy = CacheHierarchy(HierarchyConfig(
+    ...     CacheConfig(256, 2, 32, "lru", name="L1"),
+    ...     CacheConfig(1024, 4, 32, "lru", name="L2")))
+    >>> hierarchy.access(0)     # cold: misses in both levels
+    (False, False)
+    >>> hierarchy.access(0)     # L1 hit: the L2 is not consulted
+    (True, None)
+    >>> hierarchy.level_misses
+    (1, 1)
+    """
 
     def __init__(self, config: HierarchyConfig,
                  inclusion: Optional[InclusionPolicy] = None):

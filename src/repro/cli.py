@@ -90,11 +90,15 @@ DEFAULT_STORE = "sweep_results.jsonl"
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Warping cache simulation of polyhedral programs "
                     "(PLDI 2022 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser(
@@ -103,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_program_args(simulate)
     _add_cache_args(simulate)
     _add_engine_args(simulate, default_engine="warping")
+    simulate.add_argument(
+        "--workers", type=int, default=1,
+        help="set-shard the simulation across this many worker "
+             "processes (tree/warping engines; results are "
+             "bit-identical to --workers 1)")
     simulate.add_argument("--json", action="store_true",
                           help="machine-readable output")
 
@@ -150,6 +159,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print cross-engine accuracy deltas "
                                "instead of the frontier")
     frontier.add_argument("--json", action="store_true")
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark suite under a stable harness "
+                      "and write a schema'd BENCH_PR*.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke subset (two kernels)")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="worker processes for the sharded "
+                            "scenarios (default 4)")
+    bench.add_argument("--shards", type=int, default=None,
+                       help="shard count (default: same as --workers)")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="best-of-N timing repeats (default 1)")
+    bench.add_argument("--pr", type=int, default=4,
+                       help="PR number recorded in the payload and "
+                            "the default output name (default 4)")
+    bench.add_argument("--output", metavar="FILE", default=None,
+                       help="output path (default BENCH_PR<pr>.json)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the full payload instead of the "
+                            "summary table")
 
     lister = sub.add_parser("list-kernels",
                             help="list the PolyBench kernels")
@@ -322,6 +352,10 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
                              f"suffix selects the SQLite backend)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (default 1 = serial)")
+    parser.add_argument("--point-workers", type=int, default=1,
+                        help="set-shard each point across this many "
+                             "workers (most useful with --workers 1 "
+                             "and a few large points)")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-point timeout in seconds")
     parser.add_argument("--no-resume", action="store_true",
@@ -417,8 +451,15 @@ def result_dict(result, has_l2: Optional[bool] = None) -> dict:
 def cmd_simulate(args) -> int:
     scop = load_program(args)
     config = load_config(args)
-    result = run_engine(scop, config, args.engine,
-                        enable_warping=not args.no_warping)
+    if args.workers > 1 and args.engine in ("tree", "warping"):
+        from repro.perf.sharding import shard_simulate
+
+        result = shard_simulate(scop, config, engine=args.engine,
+                                workers=args.workers,
+                                enable_warping=not args.no_warping)
+    else:
+        result = run_engine(scop, config, args.engine,
+                            enable_warping=not args.no_warping)
     if args.json:
         payload = result_dict(result)
         if args.transform:
@@ -555,7 +596,8 @@ def cmd_sweep(args) -> int:
         try:
             outcome = run_sweep(
                 points, store=store, workers=args.workers,
-                timeout=args.timeout, resume=not args.no_resume)
+                timeout=args.timeout, resume=not args.no_resume,
+                point_workers=args.point_workers)
         except KeyboardInterrupt:
             done = len(store.completed_keys())
             print(f"\nsweep interrupted: {done} points in "
@@ -625,6 +667,24 @@ def cmd_frontier(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.perf.bench import bench_summary, run_bench, write_bench
+
+    if args.workers < 1:
+        raise SystemExit("bench: --workers must be >= 1")
+    payload = run_bench(workers=args.workers, shards=args.shards,
+                        quick=args.quick, repeat=args.repeat,
+                        pr=args.pr)
+    output = args.output or f"BENCH_PR{args.pr}.json"
+    write_bench(payload, output)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(bench_summary(payload))
+        print(f"wrote {output}")
+    return 0
+
+
 def cmd_list_kernels(args) -> int:
     names = all_kernel_names()
     # Validate up front so a typo'd --counts errors in text mode too,
@@ -678,6 +738,8 @@ def main(argv: Optional[list] = None) -> int:
             return cmd_sweep(args)
         if args.command == "frontier":
             return cmd_frontier(args)
+        if args.command == "bench":
+            return cmd_bench(args)
         return cmd_list_kernels(args)
     except BrokenPipeError:
         # Downstream closed the pipe (e.g. `repro frontier | head`).

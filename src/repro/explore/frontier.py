@@ -109,6 +109,16 @@ def pareto_frontier(records: Sequence[dict],
     objective vectors) all stay on the frontier.  Configs simulated by
     several engines count once (see :func:`_dedupe_engines`).  The
     result is sorted by kernel, then by the objective tuple.
+
+    >>> from repro import SweepSpec, pareto_frontier, run_sweep
+    >>> records = run_sweep(SweepSpec(
+    ...     kernels=["mvt"], sizes=["MINI"], l1_sizes=[512, 1024],
+    ...     l1_assocs=[4], l1_policies=["lru"],
+    ...     block_sizes=[32])).ok_records
+    >>> frontier = pareto_frontier(records, ["capacity", "l1_misses"])
+    >>> [(r["point"]["l1_size"], r["result"]["l1_misses"])
+    ...  for r in frontier]       # smaller cache more misses: both stay
+    [(512, 2598), (1024, 2252)]
     """
     groups: Dict[str, List[dict]] = {}
     for record in _dedupe_engines(records):
@@ -147,6 +157,15 @@ def policy_sensitivity(records: Sequence[dict]) -> List[dict]:
     once, so they are not over-weighted in the averages.  Rows sort by
     descending spread, so the most policy-sensitive workloads come
     first.
+
+    >>> from repro import SweepSpec, policy_sensitivity, run_sweep
+    >>> records = run_sweep(SweepSpec(
+    ...     kernels=["mvt"], sizes=["MINI"], l1_sizes=[512],
+    ...     l1_assocs=[4], l1_policies=["lru", "plru"],
+    ...     block_sizes=[32])).ok_records
+    >>> row = policy_sensitivity(records)[0]
+    >>> (row["kernel"], sorted(row["policies"]))
+    ('mvt', ['lru', 'plru'])
     """
     rates: Dict[Tuple[str, str], List[float]] = {}
     for record in _dedupe_engines(records):
@@ -211,6 +230,15 @@ def engine_deltas(records: Sequence[dict],
     reference engine (``warping`` when present, else the first engine
     seen).  Exact engines should show a delta of 0 everywhere — any
     non-zero row is a soundness signal.
+
+    >>> from repro import SweepSpec, engine_deltas, run_sweep
+    >>> records = run_sweep(SweepSpec(
+    ...     kernels=["mvt"], sizes=["MINI"], l1_sizes=[512],
+    ...     l1_assocs=[4], l1_policies=["lru"], block_sizes=[32],
+    ...     engines=["warping", "tree"])).ok_records
+    >>> [(row["engine"], row["abs_error"])
+    ...  for row in engine_deltas(records)]   # both engines are exact
+    [('tree', 0)]
     """
     by_config: Dict[Tuple, Dict[str, dict]] = {}
     for record in records:

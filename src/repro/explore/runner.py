@@ -40,6 +40,35 @@ from repro.simulation.result import SimulationResult
 ProgressFn = Callable[[dict], None]
 
 
+def in_daemon_worker() -> bool:
+    """True inside a daemonic pool worker (which cannot fork again)."""
+    return multiprocessing.current_process().daemon
+
+
+def map_parallel(fn: Callable, tasks: Sequence,
+                 workers: int, consume: Callable) -> None:
+    """Fan ``fn`` over ``tasks`` on a process pool, feeding ``consume``.
+
+    This is the pool machinery shared by sweep campaigns
+    (:func:`run_sweep`) and sharded simulation
+    (:func:`repro.perf.shard_simulate`): with ``workers > 1``, more
+    than one task and a non-daemonic caller, a ``multiprocessing.Pool``
+    distributes the work and ``consume`` sees results in *completion*
+    order; otherwise everything runs inline, in task order.  ``fn``
+    and every task must be picklable; ``fn`` must not raise (workers
+    report failures in their return value).
+    """
+    tasks = list(tasks)
+    if workers > 1 and len(tasks) > 1 and not in_daemon_worker():
+        processes = min(workers, len(tasks))
+        with multiprocessing.Pool(processes=processes) as pool:
+            for record in pool.imap_unordered(fn, tasks):
+                consume(record)
+    else:
+        for task in tasks:
+            consume(fn(task))
+
+
 @dataclass
 class SweepOutcome:
     """Summary of one :func:`run_sweep` invocation.
@@ -51,6 +80,15 @@ class SweepOutcome:
         errors: computed points that failed or timed out.
         wall_time: end-to-end campaign time in seconds.
         records: one store record per point, in sweep order.
+
+    >>> from repro import SweepSpec, run_sweep
+    >>> outcome = run_sweep(SweepSpec(
+    ...     kernels=["mvt"], sizes=["MINI"], l1_sizes=[512],
+    ...     l1_assocs=[4], l1_policies=["lru"], block_sizes=[32]))
+    >>> (outcome.total, outcome.computed, outcome.errors)
+    (1, 1, 0)
+    >>> outcome.ok_records[0]["result"]["l1_misses"]
+    2598
     """
 
     total: int = 0
@@ -107,7 +145,8 @@ def result_payload(result: SimulationResult,
 
 
 def run_engine(scop, config, engine: str,
-               enable_warping: bool = True) -> SimulationResult:
+               enable_warping: bool = True,
+               memo=None) -> SimulationResult:
     """Dispatch one simulation engine on (scop, config).
 
     The single engine-name -> simulator mapping, shared by the CLI's
@@ -115,6 +154,8 @@ def run_engine(scop, config, engine: str,
     engine, ``enable_warping=False`` runs its ablation mode (symbolic
     simulation without warping — Algorithm 1 semantics, warp machinery
     off); the other engines never warp, so the flag is moot there.
+    ``memo`` is an optional warp-analysis memo provider for the warping
+    engine (see :class:`repro.perf.memo.WarpMemo`).
     """
     # Imported lazily so worker processes pay the cost once each, and so
     # the module stays importable without pulling every engine in.
@@ -128,16 +169,39 @@ def run_engine(scop, config, engine: str,
                   if isinstance(config, HierarchyConfig)
                   else Cache(config))
         return simulate_nonwarping(scop, target)
-    return simulate_warping(scop, config, enable_warping=enable_warping)
+    return simulate_warping(scop, config, enable_warping=enable_warping,
+                            memo=memo)
 
 
-def simulate_point(point: SweepPoint) -> SimulationResult:
-    """Run one sweep point with its configured engine (no timeout)."""
+def simulate_point(point: SweepPoint,
+                   workers: int = 1) -> SimulationResult:
+    """Run one sweep point with its configured engine (no timeout).
+
+    With ``workers > 1`` the concrete and warping engines run
+    set-sharded across a worker pool (see
+    :func:`repro.perf.shard_simulate`); results are bit-identical to
+    the sequential run.  Warping simulations consult the
+    process-global :class:`~repro.perf.memo.WarpMemo` (the shard
+    workers each hold their own), so a sweep revisiting the same
+    access pattern (e.g. many cache sizes for one kernel and
+    transform) does not recompute its warp-interval analyses.
+    """
     from repro.polybench import build_kernel
 
     scop = build_kernel(point.kernel, point.size_spec,
                         transform=point.transform or None)
-    return run_engine(scop, point.cache_config(), point.engine)
+    config = point.cache_config()
+    if workers > 1 and point.engine in ("tree", "warping"):
+        from repro.perf.sharding import shard_simulate
+
+        return shard_simulate(scop, config, engine=point.engine,
+                              workers=workers)
+    memo = None
+    if point.engine == "warping":
+        from repro.perf.memo import global_memo
+
+        memo = global_memo().for_simulation(scop, config)
+    return run_engine(scop, config, point.engine, memo=memo)
 
 
 class _PointTimeout(Exception):
@@ -175,16 +239,19 @@ def _disarm_alarm() -> None:
 
 
 def run_point(point_dict: dict,
-              timeout: Optional[float] = None) -> dict:
+              timeout: Optional[float] = None,
+              workers: int = 1) -> dict:
     """Execute one point (given as a dict) and return its store record.
 
     This is the worker function: it never raises — failures and
     timeouts come back as records with the corresponding status, so one
-    bad point cannot take down a campaign.
+    bad point cannot take down a campaign.  ``workers`` requests
+    set-sharded per-point parallelism (degrading to a serial shard loop
+    inside daemonic pool workers, which cannot fork again).
     """
     point = SweepPoint.from_dict(point_dict)
     try:
-        return _run_point_guarded(point, timeout)
+        return _run_point_guarded(point, timeout, workers)
     except _PointTimeout:
         # An alarm escaped the guarded region (e.g. fired while the
         # record was being built) — still a timeout, not a crash.
@@ -194,7 +261,8 @@ def run_point(point_dict: dict,
 
 
 def _run_point_guarded(point: SweepPoint,
-                       timeout: Optional[float]) -> dict:
+                       timeout: Optional[float],
+                       workers: int = 1) -> dict:
     use_alarm = (timeout is not None and timeout > 0
                  and hasattr(signal, "SIGALRM"))
     previous = None
@@ -209,7 +277,7 @@ def _run_point_guarded(point: SweepPoint,
                 # main interpreter; degrade to best-effort (no
                 # deadline) as documented instead of erroring out.
                 use_alarm = False
-        result = simulate_point(point)
+        result = simulate_point(point, workers=workers)
         if use_alarm:
             _disarm_alarm()
         payload = result_payload(result)
@@ -230,9 +298,9 @@ def _run_point_guarded(point: SweepPoint,
             signal.signal(signal.SIGALRM, previous)
 
 
-def _run_point_task(task: Tuple[dict, Optional[float]]) -> dict:
-    point_dict, timeout = task
-    return run_point(point_dict, timeout=timeout)
+def _run_point_task(task: Tuple) -> dict:
+    point_dict, timeout, point_workers = task
+    return run_point(point_dict, timeout=timeout, workers=point_workers)
 
 
 def _as_points(sweep) -> List[SweepPoint]:
@@ -246,7 +314,8 @@ def run_sweep(sweep: Union[SweepSpec, SweepUnion, Sequence[SweepPoint]],
               workers: int = 1,
               timeout: Optional[float] = None,
               resume: bool = True,
-              progress: Optional[ProgressFn] = None) -> SweepOutcome:
+              progress: Optional[ProgressFn] = None,
+              point_workers: int = 1) -> SweepOutcome:
     """Run a sweep, storing results and skipping already-computed points.
 
     Args:
@@ -259,10 +328,24 @@ def run_sweep(sweep: Union[SweepSpec, SweepUnion, Sequence[SweepPoint]],
             with ``status="ok"`` are loaded instead of re-simulated.
             Failed or timed-out records are always retried.
         progress: optional callback invoked with each fresh record.
+        point_workers: set-shard each point's simulation across this
+            many workers (see :func:`repro.perf.shard_simulate`).
+            Most useful with ``workers=1`` and a few large points;
+            inside a pool (``workers > 1``) the shards of a point run
+            serially in its worker, which still exercises the sharded
+            engine but adds no extra processes.
 
     Returns:
         A :class:`SweepOutcome`; ``records`` holds one record per point
         in sweep order, mixing loaded and freshly computed ones.
+
+    >>> from repro import SweepSpec, run_sweep
+    >>> spec = SweepSpec(kernels=["mvt"], sizes=["MINI"],
+    ...                  l1_sizes=[512, 1024], l1_assocs=[4],
+    ...                  l1_policies=["lru"], block_sizes=[32])
+    >>> outcome = run_sweep(spec)      # store=None: results in memory
+    >>> [r["result"]["l1_misses"] for r in outcome.ok_records]
+    [2598, 2252]
     """
     points = _as_points(sweep)
     outcome = SweepOutcome()
@@ -301,14 +384,9 @@ def run_sweep(sweep: Union[SweepSpec, SweepUnion, Sequence[SweepPoint]],
             progress(record)
 
     if pending:
-        if workers > 1:
-            tasks = [(point.to_dict(), timeout) for point in pending]
-            with multiprocessing.Pool(processes=workers) as pool:
-                for record in pool.imap_unordered(_run_point_task, tasks):
-                    consume(record)
-        else:
-            for point in pending:
-                consume(run_point(point.to_dict(), timeout=timeout))
+        tasks = [(point.to_dict(), timeout, point_workers)
+                 for point in pending]
+        map_parallel(_run_point_task, tasks, workers, consume)
 
     outcome.records = [by_key[key] for key in ordered_keys
                        if key in by_key]

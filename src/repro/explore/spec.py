@@ -53,6 +53,14 @@ class SweepPoint:
     ``size`` is either a PolyBench size-class name or a parameter dict;
     dicts are stored as sorted tuples so points stay hashable and their
     content keys canonical.
+
+    >>> from repro import SweepPoint
+    >>> point = SweepPoint(kernel="gemm", size="mini", l1_size=1024,
+    ...                    l1_assoc=4, l1_policy="lru", block_size=32)
+    >>> (point.size, point.depth, point.capacity)
+    ('MINI', 1, 1024)
+    >>> point.key() == SweepPoint.from_dict(point.to_dict()).key()
+    True
     """
 
     kernel: str
@@ -217,6 +225,13 @@ class SweepSpec:
     :mod:`repro.transform`); the default ``[""]`` keeps the original
     schedule only, and untransformed points keep their pre-transform
     content keys, so existing stores resume cleanly.
+
+    >>> from repro import SweepSpec
+    >>> spec = SweepSpec(kernels=["gemm", "atax"], sizes=["MINI"],
+    ...                  l1_sizes=[1024, 2048], l1_assocs=[4],
+    ...                  l1_policies=["lru", "plru"], block_sizes=[32])
+    >>> len(spec.expand())      # 2 kernels x 2 sizes x 2 policies
+    8
     """
 
     kernels: List[str]

@@ -203,6 +203,19 @@ def open_store(path: str) -> ResultStore:
 
     The backend is chosen by suffix: ``.sqlite``/``.sqlite3``/``.db``
     use SQLite, anything else the JSONL backend.
+
+    >>> import os, tempfile
+    >>> from repro import SweepSpec, open_store, run_sweep
+    >>> spec = SweepSpec(kernels=["mvt"], sizes=["MINI"],
+    ...                  l1_sizes=[512], l1_assocs=[4],
+    ...                  l1_policies=["lru"], block_sizes=[32])
+    >>> path = os.path.join(tempfile.mkdtemp(), "campaign.jsonl")
+    >>> with open_store(path) as store:
+    ...     first = run_sweep(spec, store=store)
+    >>> with open_store(path) as store:     # resumed: nothing recomputed
+    ...     second = run_sweep(spec, store=store)
+    >>> (first.computed, second.computed, second.loaded)
+    (1, 0, 1)
     """
     suffix = os.path.splitext(path)[1].lower()
     if suffix in _SQLITE_SUFFIXES:

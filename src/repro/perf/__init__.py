@@ -1,0 +1,26 @@
+"""repro.perf — the performance layer.
+
+Three pieces turn the single-point simulators into a fast engine for
+large campaigns:
+
+* :mod:`repro.perf.sharding` — set-sharded parallel simulation:
+  partition the cache-set space into K independent shards, simulate
+  each in a worker process, merge per-level stats (bit-identical to
+  sequential runs).
+* :mod:`repro.perf.memo` — warp-interval memoization across sweep
+  points, keyed by (policy, associativity, canonical access-pattern
+  signature).
+* :mod:`repro.perf.bench` — the ``repro bench`` harness writing a
+  schema'd ``BENCH_PR*.json`` performance trajectory.
+"""
+
+from repro.perf.memo import WarpMemo, global_memo
+from repro.perf.sharding import shard_simulate
+from repro.perf.signature import scop_signature
+
+__all__ = [
+    "WarpMemo",
+    "global_memo",
+    "scop_signature",
+    "shard_simulate",
+]

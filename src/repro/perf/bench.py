@@ -1,0 +1,260 @@
+"""The ``repro bench`` harness: a persistent performance trajectory.
+
+Runs the benchmark suite (the figure harness's scaled-L workloads, see
+:mod:`repro.perf.workloads`) under a stable regimen — GC disabled
+around timed sections, best-of-``repeat`` timing, deterministic
+scenario order — and writes a schema'd ``BENCH_PR<n>.json``
+(:mod:`repro.perf.schema`) so every PR's performance claims are
+reproducible from one command:
+
+.. code-block:: text
+
+    repro bench --workers 4            # full suite -> BENCH_PR4.json
+    repro bench --quick                # CI smoke subset
+
+Measured per kernel:
+
+* the sequential concrete engine (the baseline of Fig. 6),
+* the set-sharded concrete engine (per-shard CPU times, critical-path
+  and end-to-end speedups — see :mod:`repro.perf.schema` for the exact
+  semantics),
+* the warping engine's speedup over the concrete baseline,
+
+plus one memoization scenario: a mini-sweep over L1 capacities with a
+cold vs a warm :class:`~repro.perf.memo.WarpMemo`.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import multiprocessing
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro.cache.cache import Cache
+from repro.perf.memo import WarpMemo
+from repro.perf.schema import SCHEMA_NAME, validate_bench
+from repro.perf.sharding import shard_simulate
+from repro.perf.workloads import SCALED_L, scaled_l1
+
+#: Fig. 6 kernels measured by the full suite: the warp-friendly
+#: stencils plus linear-algebra kernels that stress the concrete walk.
+BENCH_KERNELS = ["jacobi-2d", "seidel-2d", "heat-3d",
+                 "gemm", "atax", "trisolv"]
+
+#: CI smoke subset.
+QUICK_KERNELS = ["jacobi-2d", "atax"]
+
+#: L1 capacities of the memoization mini-sweep.
+MEMO_SIZES = [1024, 2048, 4096]
+
+
+def _timed(fn, repeat: int):
+    """Best-of-``repeat`` wall time of ``fn()`` with GC parked."""
+    best = None
+    result = None
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeat)):
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+    finally:
+        if enabled:
+            gc.enable()
+    return result, best
+
+
+def _geomean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values))
+
+
+def _machine_info() -> Dict[str, object]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": multiprocessing.cpu_count(),
+    }
+
+
+def _memo_scenario(repeat: int) -> Dict[str, float]:
+    """Warping mini-sweep over L1 sizes, cold vs warm memo."""
+    from repro.cache.config import CacheConfig
+    from repro.polybench import build_kernel
+    from repro.simulation import simulate_warping
+
+    memo = WarpMemo()
+    kernel = "lu"
+    size = SCALED_L[kernel]
+
+    def one_pass() -> None:
+        for l1_size in MEMO_SIZES:
+            config = CacheConfig(l1_size, 8, 32, "plru", name="L1")
+            scop = build_kernel(kernel, size)  # rebuilt per point, as sweeps do
+            simulate_warping(scop, config,
+                             memo=memo.for_simulation(scop, config))
+
+    _, cold_s = _timed(one_pass, 1)
+    _, warm_s = _timed(one_pass, repeat)
+    return {
+        "kernel": kernel,
+        "l1_sizes": MEMO_SIZES,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / max(warm_s, 1e-9), 3),
+        "stats": memo.stats.to_dict(),
+    }
+
+
+def run_bench(workers: int = 4, shards: Optional[int] = None,
+              quick: bool = False, repeat: int = 1,
+              pr: int = 4) -> dict:
+    """Run the bench suite and return the (validated) payload."""
+    from repro.polybench import build_kernel
+    from repro.simulation import simulate_nonwarping, simulate_warping
+
+    kernels = QUICK_KERNELS if quick else BENCH_KERNELS
+    shards = shards or workers
+    config = scaled_l1()
+    scenarios: List[dict] = []
+    tree_speedups: List[float] = []
+    warp_speedups: List[float] = []
+
+    for kernel in kernels:
+        size = SCALED_L[kernel]
+        scop = build_kernel(kernel, size)
+
+        sequential, seq_s = _timed(
+            lambda: simulate_nonwarping(scop, Cache(config)), repeat)
+        scenarios.append({
+            "kernel": kernel, "size": size, "engine": "tree",
+            "mode": "sequential",
+            "accesses": sequential.accesses,
+            "l1_misses": sequential.l1_misses,
+            "wall_s": round(seq_s, 6),
+            "accesses_per_s": round(sequential.accesses / seq_s, 1),
+        })
+
+        sharded, par_s = _timed(
+            lambda: shard_simulate(scop, config, engine="tree",
+                                   shards=shards, workers=workers),
+            repeat)
+        if (sharded.l1_hits, sharded.l1_misses, sharded.accesses) != (
+                sequential.l1_hits, sequential.l1_misses,
+                sequential.accesses):
+            raise AssertionError(
+                f"bench: sharded run diverged from sequential on "
+                f"{kernel} — refusing to record")
+        # A degenerate plan (1 shard: --workers 1, or a single-set
+        # cache) falls back to the sequential engine, whose extra
+        # carries no per-shard data — record it as its own critical
+        # path so the scenario stays schema-complete.
+        shards_run = sharded.extra.get("shards", 1)
+        critical = sharded.extra.get("critical_path_s", par_s)
+        shard_cpu = sharded.extra.get("shard_cpu_s",
+                                      [round(par_s, 6)] * shards_run)
+        speedup = seq_s / max(critical, 1e-9)
+        tree_speedups.append(speedup)
+        scenarios.append({
+            "kernel": kernel, "size": size, "engine": "tree",
+            "mode": "sharded",
+            "accesses": sharded.accesses,
+            "l1_misses": sharded.l1_misses,
+            "wall_s": round(par_s, 6),
+            "accesses_per_s": round(sharded.accesses
+                                    / max(critical, 1e-9), 1),
+            "shards": shards_run,
+            "workers": sharded.extra.get("workers", 1),
+            "shard_cpu_s": shard_cpu,
+            "critical_path_s": critical,
+            "speedup_vs_sequential": round(speedup, 3),
+            "wall_speedup": round(seq_s / max(par_s, 1e-9), 3),
+        })
+
+        warped, warp_s = _timed(
+            lambda: simulate_warping(scop, config), repeat)
+        if warped.l1_misses != sequential.l1_misses:
+            raise AssertionError(
+                f"bench: warping diverged from sequential on {kernel}")
+        warp_speedups.append(seq_s / max(warp_s, 1e-9))
+        scenarios.append({
+            "kernel": kernel, "size": size, "engine": "warping",
+            "mode": "sequential",
+            "accesses": warped.accesses,
+            "l1_misses": warped.l1_misses,
+            "wall_s": round(warp_s, 6),
+            "accesses_per_s": round(warped.accesses / warp_s, 1),
+            "speedup_vs_sequential": round(seq_s / max(warp_s, 1e-9), 3),
+        })
+
+    payload = {
+        "schema": SCHEMA_NAME,
+        "pr": pr,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                     time.gmtime()),
+        "suite": "quick" if quick else "full",
+        "workers": workers,
+        "shards": shards,
+        "machine": _machine_info(),
+        "scenarios": scenarios,
+        "summary": {
+            "sharded_tree_speedup_min": round(min(tree_speedups), 3),
+            "sharded_tree_speedup_geomean": round(
+                _geomean(tree_speedups), 3),
+            "warping_speedup_geomean": round(
+                _geomean(warp_speedups), 3),
+            "memo": _memo_scenario(repeat),
+        },
+    }
+    validate_bench(payload)
+    return payload
+
+
+def write_bench(payload: dict, path: str) -> None:
+    """Validate and write a bench payload to ``path``."""
+    validate_bench(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def bench_summary(payload: dict) -> str:
+    """Human-readable one-screen summary of a bench payload."""
+    lines = [
+        f"bench {payload['suite']} suite — PR {payload['pr']}, "
+        f"{payload['workers']} workers x {payload['shards']} shards, "
+        f"{payload['machine']['cpu_count']} cpu(s)",
+    ]
+    for scenario in payload["scenarios"]:
+        tag = f"{scenario['kernel']:14s} {scenario['engine']:7s} " \
+              f"{scenario['mode']:10s}"
+        extra = ""
+        if "speedup_vs_sequential" in scenario:
+            extra = f"  speedup {scenario['speedup_vs_sequential']:6.2f}x"
+            if "wall_speedup" in scenario:
+                extra += f" (wall {scenario['wall_speedup']:.2f}x)"
+        lines.append(
+            f"  {tag} {scenario['wall_s']:8.3f}s "
+            f"{scenario['accesses_per_s']:12.0f} acc/s{extra}")
+    summary = payload["summary"]
+    memo = summary["memo"]
+    lines.append(
+        f"  sharded tree speedup: min "
+        f"{summary['sharded_tree_speedup_min']:.2f}x, geomean "
+        f"{summary['sharded_tree_speedup_geomean']:.2f}x "
+        f"(critical path); warping geomean "
+        f"{summary['warping_speedup_geomean']:.2f}x")
+    lines.append(
+        f"  warp memo: cold {memo['cold_s']:.3f}s -> warm "
+        f"{memo['warm_s']:.3f}s ({memo['speedup']:.2f}x)")
+    return "\n".join(lines)

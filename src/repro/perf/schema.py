@@ -1,0 +1,144 @@
+"""Schema of the ``BENCH_PR*.json`` performance trajectory.
+
+Every PR that touches performance appends a ``BENCH_PR<n>.json`` to the
+repository root, produced by ``repro bench``.  The files share one
+schema (``repro-bench/1``) so the trajectory stays machine-readable
+across PRs; :func:`validate_bench` is a dependency-free validator run
+by the bench harness before writing, by the test suite over every
+committed file, and by CI over a fresh ``--quick`` run.
+
+Speedup semantics (recorded per sharded scenario):
+
+* ``speedup_vs_sequential`` — sequential wall time divided by the
+  *critical path* of the sharded run (the maximum per-shard worker CPU
+  time).  This is the machine-independent figure of merit: on a host
+  with at least as many cores as workers it coincides with the
+  end-to-end speedup; on fewer cores the workers time-share and only
+  the critical path reflects the engine's parallelism.
+* ``wall_speedup`` — sequential wall time divided by the end-to-end
+  wall time of the sharded run on the measuring machine (pool spawn
+  and time-sharing included).  ``machine.cpu_count`` says how much
+  concurrency that machine could express.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+SCHEMA_NAME = "repro-bench/1"
+
+_MACHINE_KEYS = {
+    "platform": str,
+    "python": str,
+    "cpu_count": int,
+}
+
+_SCENARIO_COMMON = {
+    "kernel": str,
+    "size": dict,
+    "engine": str,
+    "mode": str,
+    "accesses": int,
+    "l1_misses": int,
+    "wall_s": (int, float),
+    "accesses_per_s": (int, float),
+}
+
+_SCENARIO_SHARDED = {
+    "shards": int,
+    "workers": int,
+    "shard_cpu_s": list,
+    "critical_path_s": (int, float),
+    "speedup_vs_sequential": (int, float),
+    "wall_speedup": (int, float),
+}
+
+_SUMMARY_KEYS = {
+    "sharded_tree_speedup_min": (int, float),
+    "sharded_tree_speedup_geomean": (int, float),
+    "warping_speedup_geomean": (int, float),
+}
+
+_ENGINES = ("tree", "warping")
+_MODES = ("sequential", "sharded")
+
+
+class BenchSchemaError(ValueError):
+    """A bench payload violating ``repro-bench/1``."""
+
+
+def _require(payload: dict, key: str, types, where: str) -> object:
+    if key not in payload:
+        raise BenchSchemaError(f"{where}: missing key {key!r}")
+    value = payload[key]
+    if not isinstance(value, types):
+        raise BenchSchemaError(
+            f"{where}.{key}: expected {types}, got {type(value).__name__}")
+    if types is int and isinstance(value, bool):
+        raise BenchSchemaError(f"{where}.{key}: expected int, got bool")
+    return value
+
+
+def validate_bench(payload: dict) -> List[dict]:
+    """Validate a bench payload; returns its scenario list.
+
+    Raises :class:`BenchSchemaError` on the first violation.
+
+    >>> validate_bench({"schema": "wrong"})
+    Traceback (most recent call last):
+        ...
+    repro.perf.schema.BenchSchemaError: bench: schema 'wrong' != 'repro-bench/1'
+    """
+    if not isinstance(payload, dict):
+        raise BenchSchemaError("bench: payload must be an object")
+    if payload.get("schema") != SCHEMA_NAME:
+        raise BenchSchemaError(
+            f"bench: schema {payload.get('schema')!r} != {SCHEMA_NAME!r}")
+    _require(payload, "pr", int, "bench")
+    _require(payload, "created_utc", str, "bench")
+    suite = _require(payload, "suite", str, "bench")
+    if suite not in ("full", "quick"):
+        raise BenchSchemaError(f"bench.suite: unknown suite {suite!r}")
+    _require(payload, "workers", int, "bench")
+    _require(payload, "shards", int, "bench")
+    machine = _require(payload, "machine", dict, "bench")
+    for key, types in _MACHINE_KEYS.items():
+        _require(machine, key, types, "bench.machine")
+    scenarios = _require(payload, "scenarios", list, "bench")
+    if not scenarios:
+        raise BenchSchemaError("bench.scenarios: must not be empty")
+    for index, scenario in enumerate(scenarios):
+        where = f"bench.scenarios[{index}]"
+        if not isinstance(scenario, dict):
+            raise BenchSchemaError(f"{where}: must be an object")
+        for key, types in _SCENARIO_COMMON.items():
+            _require(scenario, key, types, where)
+        if scenario["engine"] not in _ENGINES:
+            raise BenchSchemaError(
+                f"{where}.engine: unknown engine {scenario['engine']!r}")
+        if scenario["mode"] not in _MODES:
+            raise BenchSchemaError(
+                f"{where}.mode: unknown mode {scenario['mode']!r}")
+        if scenario["mode"] == "sharded":
+            for key, types in _SCENARIO_SHARDED.items():
+                _require(scenario, key, types, where)
+            if len(scenario["shard_cpu_s"]) != scenario["shards"]:
+                raise BenchSchemaError(
+                    f"{where}.shard_cpu_s: expected one entry per shard")
+    summary = _require(payload, "summary", dict, "bench")
+    for key, types in _SUMMARY_KEYS.items():
+        _require(summary, key, types, "bench.summary")
+    memo = _require(summary, "memo", dict, "bench.summary")
+    for key in ("cold_s", "warm_s", "speedup"):
+        _require(memo, key, (int, float), "bench.summary.memo")
+    return scenarios
+
+
+def load_and_validate(path: str) -> dict:
+    """Read a ``BENCH_PR*.json`` file and validate it."""
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_bench(payload)
+    return payload

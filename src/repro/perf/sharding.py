@@ -1,0 +1,314 @@
+"""Set-sharded parallel cache simulation (repro.perf).
+
+Cache sets never interact: an access to memory block ``b`` touches set
+``b mod S`` at every (modulo-placed) level, and replacement decisions
+are per-set.  Partitioning the block space into ``K`` residue classes
+(``b mod K``, with ``K`` dividing every level's set count) therefore
+splits one simulation into ``K`` completely independent simulations —
+shard ``r`` owns every ``K``-th cache set of every level and exactly
+the accesses that map to them.  Each shard's per-set access sequences
+are identical to the full simulation's, so summing per-level hit/miss
+counters over the shards reproduces the sequential counts *bit for
+bit* (this is pinned by differential tests over all PolyBench kernels
+at hierarchy depths 1-3).
+
+:func:`shard_simulate` plans the shard count
+(:func:`repro.cache.config.shardable_ways`), fans the shards out over
+the pool machinery shared with sweep campaigns
+(:func:`repro.explore.runner.map_parallel`), and merges the per-shard
+:class:`LevelStats` into one :class:`SimulationResult`.  Both the
+concrete ("tree") and the warping engine are supported: warping runs
+per shard on the shard's own rotation symmetry (block shifts must
+additionally be multiples of the shard modulus — see
+:mod:`repro.simulation.warping`).
+
+Speedup model: every shard walks the full iteration space (it must
+evaluate each access's address to decide ownership) but performs only
+``1/K`` of the cache work, which dominates the sequential engine's
+runtime.  The tree-engine shard worker additionally uses a tuned walk
+loop with the single-level cache access inlined.  On a machine with
+``>= K`` cores the wall-clock speedup approaches the critical-path
+speedup ``t_seq / max_shard_time``; ``repro bench`` records both.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.cache.cache import Cache
+from repro.cache.config import (
+    CacheConfig,
+    HierarchyConfig,
+    WritePolicy,
+    shard_target_config,
+    shardable_ways,
+)
+from repro.cache.hierarchy import CacheHierarchy
+from repro.explore.runner import map_parallel
+from repro.polyhedral.model import AccessNode, LoopNode, Scop
+from repro.simulation.result import LevelStats, SimulationResult
+
+TargetConfig = Union[CacheConfig, HierarchyConfig]
+
+#: Engines that can be sharded (the Dinero-style baseline replays a
+#: trace and is kept sequential on purpose).
+SHARDABLE_ENGINES = ("tree", "warping")
+
+
+class _ShardTreeRunner:
+    """Concrete tree-walk restricted to one set shard.
+
+    Mirrors :class:`repro.simulation.nonwarping._Runner` exactly —
+    same traversal order, same domain checks — with the per-access
+    shard filter and, for single-level targets, the cache access
+    inlined (the per-access overhead of the generic engine is what the
+    shard walk amortises over ``1/K`` of the cache work).
+    """
+
+    __slots__ = ("target", "block_size", "modulus", "residue", "accesses",
+                 "_cache", "_sets", "_policy", "_num_sets",
+                 "_write_allocate")
+
+    def __init__(self, scop: Scop, target: Union[Cache, CacheHierarchy],
+                 modulus: int, residue: int):
+        self.target = target
+        self.block_size = target.config.block_size
+        self.modulus = modulus
+        self.residue = residue
+        self.accesses = 0
+        if isinstance(target, Cache):
+            self._cache: Optional[Cache] = target
+            self._sets = target.sets
+            self._policy = target.policy
+            self._num_sets = target.config.num_sets
+            self._write_allocate = (target.config.write_policy
+                                    is WritePolicy.WRITE_ALLOCATE)
+        else:
+            self._cache = None
+
+    def run(self, scop: Scop) -> None:
+        for root in scop.roots:
+            if isinstance(root, AccessNode):
+                self._access(root, ())
+            else:
+                self._loop(root, ())
+
+    def _access(self, node: AccessNode, point: Tuple[int, ...]) -> None:
+        if not node.in_domain(point):
+            return
+        block = node.addr_at(point) // self.block_size
+        if block % self.modulus != self.residue:
+            return
+        self.accesses += 1
+        if self._cache is None:
+            self.target.access(block, node.is_write)
+            return
+        cache = self._cache
+        allocate = not node.is_write or self._write_allocate
+        hit, _ = self._sets[(block // self.modulus) % self._num_sets] \
+            .access(self._policy, block, allocate)
+        if hit:
+            cache.hits += 1
+        else:
+            cache.misses += 1
+
+    def _loop(self, loop: LoopNode, prefix: Tuple[int, ...]) -> None:
+        bounds = loop.bounds_at(prefix)
+        if bounds is None:
+            return
+        lo, hi = bounds
+        children = loop.children
+        check_domain = not loop._bounds_exact or bool(loop.domain.divs)
+        single = self._cache is not None
+        block_size = self.block_size
+        modulus = self.modulus
+        residue = self.residue
+        for value in range(lo, hi + 1, loop.stride):
+            point = prefix + (value,)
+            if check_domain and not loop.in_domain(point):
+                continue
+            for child in children:
+                if child.__class__ is AccessNode:
+                    if (child.domain is not None
+                            and not child.in_domain(point)):
+                        continue
+                    block = child.addr_at(point) // block_size
+                    if block % modulus != residue:
+                        continue
+                    self.accesses += 1
+                    if single:
+                        allocate = (not child.is_write
+                                    or self._write_allocate)
+                        hit, _ = self._sets[
+                            (block // modulus) % self._num_sets
+                        ].access(self._policy, block, allocate)
+                        if hit:
+                            self._cache.hits += 1
+                        else:
+                            self._cache.misses += 1
+                    else:
+                        self.target.access(block, child.is_write)
+                elif isinstance(child, AccessNode):
+                    self._access(child, point)
+                else:
+                    self._loop(child, point)
+
+
+def _run_shard_task(task: dict) -> dict:
+    """Worker: simulate one shard; returns a plain-dict shard record.
+
+    Never raises — failures come back as ``{"error": ...}`` records so
+    one bad shard cannot hang the merge.
+    """
+    try:
+        return _run_shard(task)
+    except Exception as exc:  # noqa: BLE001 — reported to the merger
+        return {"shard": task["residue"], "error": repr(exc)}
+
+
+def _run_shard(task: dict) -> dict:
+    scop: Scop = task["scop"]
+    config: TargetConfig = task["config"]
+    modulus: int = task["modulus"]
+    residue: int = task["residue"]
+    engine: str = task["engine"]
+    sharded = shard_target_config(config, modulus, residue)
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    if engine == "warping":
+        from repro.perf.memo import global_memo
+        from repro.simulation.warping import simulate_warping
+
+        # Memoised analyses are full-block-space facts, so shards share
+        # memo entries with each other and with unsharded runs; each
+        # (pool worker) process accumulates reuse across the shards and
+        # points it serves.
+        memo = global_memo().for_simulation(scop, sharded)
+        result = simulate_warping(scop, sharded,
+                                  enable_warping=task["enable_warping"],
+                                  memo=memo)
+        record = {
+            "levels": [(s.name, s.hits, s.misses) for s in result.levels],
+            "accesses": result.accesses,
+            "explicit_accesses": result.simulated_accesses,
+            "warp_count": result.warp_count,
+            "warp_attempts": result.warp_attempts,
+        }
+    else:
+        target = (CacheHierarchy(sharded)
+                  if isinstance(sharded, HierarchyConfig)
+                  else Cache(sharded))
+        runner = _ShardTreeRunner(scop, target, modulus, residue)
+        runner.run(scop)
+        caches = (target.levels if isinstance(target, CacheHierarchy)
+                  else [target])
+        record = {
+            "levels": [(c.config.name, c.hits, c.misses) for c in caches],
+            "accesses": runner.accesses,
+            "explicit_accesses": runner.accesses,
+            "warp_count": 0,
+            "warp_attempts": 0,
+        }
+    record["shard"] = residue
+    record["cpu_s"] = time.process_time() - cpu0
+    record["wall_s"] = time.perf_counter() - wall0
+    return record
+
+
+def shard_simulate(scop: Scop, config: TargetConfig,
+                   engine: str = "tree",
+                   shards: Optional[int] = None,
+                   workers: Optional[int] = None,
+                   enable_warping: bool = True) -> SimulationResult:
+    """Simulate ``scop`` on ``config`` sharded by cache set.
+
+    Args:
+        scop: the program (any :class:`~repro.polyhedral.model.Scop`).
+        config: a cache or hierarchy config (modulo placement).
+        engine: ``"tree"`` (concrete) or ``"warping"``.
+        shards: shard count to aim for; defaults to ``workers``.  The
+            effective count is the largest feasible divisor of the
+            innermost level's set count (1 = sequential fallback).
+        workers: worker processes; ``None`` uses one per shard, ``1``
+            runs the shards serially in-process (deterministic, no
+            fork — what the differential tests use).
+        enable_warping: ablation switch for the warping engine.
+
+    Returns:
+        A merged :class:`SimulationResult` whose per-level hit/miss
+        counts are bit-identical to the sequential engines'.
+        ``result.extra`` records the shard plan and per-shard CPU/wall
+        times (``shards``, ``workers``, ``shard_cpu_s``,
+        ``shard_wall_s``, ``critical_path_s``).
+
+    >>> from repro import CacheConfig, build_kernel
+    >>> scop = build_kernel("mvt", "MINI")
+    >>> config = CacheConfig(1024, 4, 32, "lru")
+    >>> merged = shard_simulate(scop, config, shards=4, workers=1)
+    >>> from repro import Cache, simulate_nonwarping
+    >>> sequential = simulate_nonwarping(scop, Cache(config))
+    >>> (merged.l1_hits, merged.l1_misses) == (
+    ...     sequential.l1_hits, sequential.l1_misses)
+    True
+    """
+    if engine not in SHARDABLE_ENGINES:
+        raise ValueError(
+            f"engine {engine!r} is not shardable; "
+            f"use one of {SHARDABLE_ENGINES}")
+    requested = shards if shards is not None else (workers or 1)
+    k = shardable_ways(config, requested)
+    start = time.perf_counter()
+    if k == 1:
+        from repro.explore.runner import run_engine
+
+        result = run_engine(scop, config, engine,
+                            enable_warping=enable_warping)
+        result.extra.setdefault("shards", 1)
+        result.extra.setdefault("workers", 1)
+        return result
+
+    tasks = [
+        {"scop": scop, "config": config, "engine": engine,
+         "modulus": k, "residue": residue,
+         "enable_warping": enable_warping}
+        for residue in range(k)
+    ]
+    records: Dict[int, dict] = {}
+    pool_workers = k if workers is None else workers
+    map_parallel(_run_shard_task, tasks, pool_workers,
+                 lambda record: records.__setitem__(record["shard"],
+                                                    record))
+    failed = [r for r in records.values() if "error" in r]
+    if failed:
+        raise RuntimeError(
+            f"shard simulation failed: {failed[0]['error']}")
+
+    ordered = [records[residue] for residue in range(k)]
+    depth = len(ordered[0]["levels"])
+    levels: List[LevelStats] = []
+    for index in range(depth):
+        name = ordered[0]["levels"][index][0]
+        hits = sum(r["levels"][index][1] for r in ordered)
+        misses = sum(r["levels"][index][2] for r in ordered)
+        levels.append(LevelStats(name, hits, misses))
+
+    result = SimulationResult(
+        scop_name=scop.name,
+        levels=levels,
+        wall_time=time.perf_counter() - start,
+    )
+    result.accesses = sum(r["accesses"] for r in ordered)
+    result.simulated_accesses = sum(r["explicit_accesses"]
+                                    for r in ordered)
+    result.warped_accesses = result.accesses - result.simulated_accesses
+    result.warp_count = sum(r["warp_count"] for r in ordered)
+    result.warp_attempts = sum(r["warp_attempts"] for r in ordered)
+    result.extra.update({
+        "shards": k,
+        "workers": pool_workers,
+        "shard_cpu_s": [round(r["cpu_s"], 6) for r in ordered],
+        "shard_wall_s": [round(r["wall_s"], 6) for r in ordered],
+        "critical_path_s": round(max(r["cpu_s"] for r in ordered), 6),
+    })
+    return result

@@ -1,0 +1,87 @@
+"""Canonical access-pattern signatures of SCoPs.
+
+Two SCoP instances that are structurally identical — same arrays, same
+memory layout, same loop tree with the same domains, strides and affine
+access functions — produce the same signature, even across rebuilds
+(e.g. ``build_kernel`` called once per sweep point in different worker
+processes).  The signature keys the cross-run warp-analysis memo
+(:mod:`repro.perf.memo`): every memoised value is a deterministic
+function of the SCoP structure, so equal signatures guarantee equal
+analysis results.
+
+The signature intentionally covers *numeric* problem sizes (loop bounds
+and array extents are part of the structure): ``gemm`` at MINI and
+``gemm`` at SMALL sign differently, as their warp intervals differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple, Union
+
+from repro.isl.affine import LinExpr
+from repro.isl.sets import BasicSet
+from repro.polyhedral.model import AccessNode, LoopNode, Scop
+
+#: Attribute used to cache the signature on the Scop instance (a Scop
+#: is immutable once built; transforms return new Scops).
+_CACHE_ATTR = "_perf_signature"
+
+
+def _linexpr_key(expr: LinExpr) -> Tuple:
+    # repr() keeps exact values for ints and Fractions alike (int() would
+    # truncate a fractional coefficient into a false signature match).
+    return (repr(expr.constant),
+            tuple(sorted((dim, repr(coeff))
+                         for dim, coeff in expr.coeffs.items()
+                         if coeff)))
+
+
+def _set_key(domain: Optional[BasicSet]) -> Optional[Tuple]:
+    if domain is None:
+        return None
+    return (
+        domain.dims,
+        tuple(sorted(_linexpr_key(e) for e in domain.eqs)),
+        tuple(sorted(_linexpr_key(e) for e in domain.ineqs)),
+        tuple((name, _linexpr_key(num), den)
+              for name, num, den in domain.divs),
+        domain.exists,
+    )
+
+
+def _node_key(node: Union[LoopNode, AccessNode]) -> Tuple:
+    if isinstance(node, AccessNode):
+        return ("A", node.array.name, _linexpr_key(node.addr_expr),
+                node.is_write, _set_key(node.domain),
+                _set_key(node.full_domain))
+    return ("L", node.iterator, node.dims, node.stride,
+            _set_key(node.domain),
+            tuple(_node_key(child) for child in node.children))
+
+
+def scop_signature(scop: Scop) -> str:
+    """SHA-256 signature of a SCoP's canonical structure.
+
+    >>> from repro.polybench import build_kernel
+    >>> a = scop_signature(build_kernel("mvt", "MINI"))
+    >>> b = scop_signature(build_kernel("mvt", "MINI"))   # fresh build
+    >>> c = scop_signature(build_kernel("mvt", "SMALL"))  # other size
+    >>> (a == b, a == c)
+    (True, False)
+    """
+    cached = getattr(scop, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    arrays = tuple(
+        (array.name, array.extents, array.element_size, array.base)
+        for array in sorted(scop.layout.arrays.values(),
+                            key=lambda a: a.name)
+    )
+    payload = (arrays, tuple(_node_key(root) for root in scop.roots))
+    digest = hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+    try:
+        setattr(scop, _CACHE_ATTR, digest)
+    except AttributeError:  # pragma: no cover — Scop has no __slots__
+        pass
+    return digest

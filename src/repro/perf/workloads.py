@@ -1,0 +1,146 @@
+"""Scaled experiment workloads shared by benchmarks/ and ``repro bench``.
+
+The paper evaluates on PolyBench L/XL problem sizes against a 32 KiB
+8-way PLRU L1 and a 1 MiB 16-way QLRU L2 (Intel Cascade Lake).  A pure
+Python per-access simulator runs ~10^4x slower than the paper's C++
+tool, so every experiment here is *scaled*: problem sizes and cache
+sizes shrink together, preserving the ratios that drive the phenomena
+(working set : cache capacity, row length : block size alignment, trip
+counts : number of cache sets).
+
+Scaled test system (1/16th of the paper's):
+
+* L1: 2 KiB, 8-way, 32-byte blocks, Pseudo-LRU (8 sets).
+* L2: 16 KiB, 16-way, 32-byte blocks, Quad-age LRU (32 sets).
+* L3: 128 KiB, 16-way, 32-byte blocks, Quad-age LRU (256 sets).
+
+Scaled problem sizes: ``SCALED_L`` plays the role of PolyBench LARGE
+and ``SCALED_XL`` of EXTRALARGE.  Stencil row lengths are multiples of
+four doubles so rows are block-aligned, as PolyBench LARGE rows are
+w.r.t. 64-byte blocks (e.g. 1200 * 8 B = 150 blocks exactly).
+
+This module is the single source of truth: ``benchmarks/common.py``
+re-exports it for the figure harness, and :mod:`repro.perf.bench` uses
+it for the ``repro bench`` trajectory, so the two always measure the
+same workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cache.config import (
+    CacheConfig,
+    HierarchyConfig,
+    InclusionPolicy,
+)
+
+ALL_KERNELS = [
+    "2mm", "3mm", "adi", "atax", "bicg", "cholesky", "correlation",
+    "covariance", "deriche", "doitgen", "durbin", "fdtd-2d",
+    "floyd-warshall", "gemm", "gemver", "gesummv", "gramschmidt",
+    "heat-3d", "jacobi-1d", "jacobi-2d", "lu", "ludcmp", "mvt",
+    "nussinov", "seidel-2d", "symm", "syr2k", "syrk", "trisolv", "trmm",
+]
+
+STENCILS = ["adi", "fdtd-2d", "heat-3d", "jacobi-1d", "jacobi-2d",
+            "seidel-2d"]
+
+SCALED_L: Dict[str, Dict[str, int]] = {
+    "2mm": dict(NI=16, NJ=18, NK=22, NL=24),
+    "3mm": dict(NI=16, NJ=18, NK=20, NL=22, NM=24),
+    "adi": dict(TSTEPS=8, N=32),
+    "atax": dict(M=40, N=40),
+    "bicg": dict(M=40, N=40),
+    "cholesky": dict(N=40),
+    "correlation": dict(M=28, N=32),
+    "covariance": dict(M=28, N=32),
+    "deriche": dict(W=32, H=32),
+    "doitgen": dict(NQ=8, NR=10, NP=16),
+    "durbin": dict(N=120),
+    "fdtd-2d": dict(TMAX=8, NX=24, NY=32),
+    "floyd-warshall": dict(N=36),
+    "gemm": dict(NI=20, NJ=24, NK=28),
+    "gemver": dict(N=40),
+    "gesummv": dict(N=32),
+    "gramschmidt": dict(M=20, N=24),
+    "heat-3d": dict(TSTEPS=4, N=24),
+    "jacobi-1d": dict(TSTEPS=20, N=64),
+    "jacobi-2d": dict(TSTEPS=8, N=32),
+    "lu": dict(N=40),
+    "ludcmp": dict(N=36),
+    "mvt": dict(N=40),
+    "nussinov": dict(N=36),
+    "seidel-2d": dict(TSTEPS=8, N=32),
+    "symm": dict(M=20, N=24),
+    "syr2k": dict(M=20, N=24),
+    "syrk": dict(M=24, N=28),
+    "trisolv": dict(N=80),
+    "trmm": dict(M=24, N=28),
+}
+
+SCALED_XL: Dict[str, Dict[str, int]] = {
+    "2mm": dict(NI=28, NJ=32, NK=36, NL=40),
+    "3mm": dict(NI=28, NJ=30, NK=32, NL=36, NM=40),
+    "adi": dict(TSTEPS=16, N=64),
+    "atax": dict(M=72, N=72),
+    "bicg": dict(M=72, N=72),
+    "cholesky": dict(N=64),
+    "correlation": dict(M=44, N=52),
+    "covariance": dict(M=44, N=52),
+    "deriche": dict(W=64, H=48),
+    "doitgen": dict(NQ=12, NR=14, NP=24),
+    "durbin": dict(N=240),
+    "fdtd-2d": dict(TMAX=16, NX=48, NY=64),
+    "floyd-warshall": dict(N=56),
+    "gemm": dict(NI=36, NJ=40, NK=44),
+    "gemver": dict(N=72),
+    "gesummv": dict(N=56),
+    "gramschmidt": dict(M=36, N=40),
+    "heat-3d": dict(TSTEPS=6, N=28),
+    "jacobi-1d": dict(TSTEPS=40, N=128),
+    "jacobi-2d": dict(TSTEPS=16, N=64),
+    "lu": dict(N=64),
+    "ludcmp": dict(N=56),
+    "mvt": dict(N=72),
+    "nussinov": dict(N=56),
+    "seidel-2d": dict(TSTEPS=16, N=64),
+    "symm": dict(M=36, N=40),
+    "syr2k": dict(M=36, N=40),
+    "syrk": dict(M=40, N=44),
+    "trisolv": dict(N=144),
+    "trmm": dict(M=40, N=44),
+}
+
+
+def scaled_l1(policy: str = "plru") -> CacheConfig:
+    """The scaled test-system L1 (2 KiB, 8-way, 32 B blocks)."""
+    return CacheConfig(2048, 8, 32, policy, name="L1")
+
+
+def scaled_l2(policy: str = "qlru") -> CacheConfig:
+    """The scaled test-system L2 (16 KiB, 16-way, 32 B blocks)."""
+    return CacheConfig(16 * 1024, 16, 32, policy, name="L2")
+
+
+def scaled_l3(policy: str = "qlru") -> CacheConfig:
+    """The scaled test-system L3 (128 KiB, 16-way, 32 B blocks) —
+    the paper-style 8 MiB L3 at the same 1/16-ish scale as L1/L2."""
+    return CacheConfig(128 * 1024, 16, 32, policy, name="L3")
+
+
+def scaled_hierarchy(depth: int = 2,
+                     inclusion: InclusionPolicy = InclusionPolicy.NINE
+                     ) -> HierarchyConfig:
+    """Scaled test-system hierarchy at depth 2 (L1+L2) or 3 (+L3)."""
+    levels = (scaled_l1(), scaled_l2(), scaled_l3())
+    return HierarchyConfig(levels=levels[:depth], inclusion=inclusion)
+
+
+def polycache_scaled_hierarchy() -> HierarchyConfig:
+    """Scaled version of the paper's PolyCache comparison config
+    (32 KiB 4-way + 256 KiB 4-way, both LRU, cf. Fig. 9)."""
+    return HierarchyConfig(
+        l1=CacheConfig(2048, 4, 32, "lru", name="L1"),
+        l2=CacheConfig(16 * 1024, 4, 32, "lru", name="L2"),
+    )

@@ -93,15 +93,28 @@ def get_kernel(name: str) -> KernelSpec:
 def build_kernel(name: str, size: SizeSpec, transform=None) -> Scop:
     """Build a kernel SCoP by name at a size class or explicit size.
 
-    ``transform`` optionally names a schedule-transformation pipeline
-    (e.g. ``"tile(i,j:32x32); interchange(jj,i)"``) applied to the
-    built SCoP.
+    ``size`` is a PolyBench class name (``"MINI"`` … ``"EXTRALARGE"``)
+    or a parameter dict; ``transform`` optionally names a
+    schedule-transformation pipeline (e.g.
+    ``"tile(i,j:32x32); interchange(jj,i)"``) applied to the built SCoP.
+
+    >>> from repro import build_kernel
+    >>> scop = build_kernel("jacobi-2d", {"TSTEPS": 2, "N": 8})
+    >>> (scop.name, scop.count_accesses())
+    ('jacobi-2d', 864)
     """
     return get_kernel(name).build(size, transform=transform)
 
 
 def all_kernel_names() -> List[str]:
-    """All registered kernel names, sorted."""
+    """All registered kernel names, sorted.
+
+    >>> from repro import all_kernel_names
+    >>> len(all_kernel_names())
+    30
+    >>> all_kernel_names()[:3]
+    ['2mm', '3mm', 'adi']
+    """
     _ensure_loaded()
     return sorted(KERNELS)
 

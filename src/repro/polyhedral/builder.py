@@ -52,7 +52,27 @@ class _IterProxy:
 
 
 class ScopBuilder:
-    """Imperative construction of :class:`repro.polyhedral.Scop` trees."""
+    """Imperative construction of :class:`repro.polyhedral.Scop` trees.
+
+    Open loops with the :meth:`loop` context manager (iterators become
+    attributes, e.g. ``builder.i``), record references with
+    :meth:`read`/:meth:`write`, then :meth:`build`:
+
+    >>> from repro import ScopBuilder, render_scop
+    >>> builder = ScopBuilder("copy")
+    >>> a = builder.array("A", (16,))
+    >>> b = builder.array("B", (16,))
+    >>> with builder.loop("i", 0, 16):
+    ...     _ = builder.read(a, builder.i)
+    ...     _ = builder.write(b, builder.i)
+    >>> scop = builder.build()
+    >>> scop.count_accesses()
+    32
+    >>> print(render_scop(scop))
+    for i = 0 .. 15:
+      read A[i]
+      write B[i]
+    """
 
     def __init__(self, name: str, alignment: int = 64):
         self.name = name

@@ -27,6 +27,14 @@ def simulate(scop: Scop, target: Target,
     The target's current contents are reused when ``warm_state`` is set
     (SCoP simulation may start from any cache state, cf. Sec. 4);
     otherwise the target is reset first.
+
+    >>> from repro import Cache, CacheConfig, build_kernel
+    >>> from repro import simulate_nonwarping
+    >>> scop = build_kernel("mvt", "MINI")
+    >>> result = simulate_nonwarping(
+    ...     scop, Cache(CacheConfig(1024, 4, 32, "lru")))
+    >>> (result.accesses, result.l1_hits, result.l1_misses)
+    (12800, 10548, 2252)
     """
     if not warm_state:
         target.reset()

@@ -8,7 +8,13 @@ from typing import Dict, List, Optional, Sequence
 
 @dataclass
 class LevelStats:
-    """Hit/miss classification counts of one cache level."""
+    """Hit/miss classification counts of one cache level.
+
+    >>> from repro import LevelStats
+    >>> stats = LevelStats("L1", hits=90, misses=10)
+    >>> (stats.accesses, stats.miss_rate)
+    (100, 0.1)
+    """
 
     name: str = "L1"
     hits: int = 0
@@ -46,6 +52,13 @@ class SimulationResult:
     The legacy two-level fields (``l1_hits`` … ``l2_misses``) remain
     available as read/write properties over ``levels``; the legacy
     constructor keywords are accepted too.
+
+    >>> from repro import LevelStats, SimulationResult
+    >>> result = SimulationResult("demo", accesses=100,
+    ...                           levels=[LevelStats("L1", 80, 20),
+    ...                                   LevelStats("L2", 15, 5)])
+    >>> (result.depth, result.l1_misses, result.l2_misses, result.misses)
+    (2, 20, 5, 20)
     """
 
     def __init__(self, scop_name: str, accesses: int = 0,

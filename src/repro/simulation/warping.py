@@ -68,19 +68,45 @@ class _NineLevels:
 
 
 def simulate_warping(scop: Scop, config: TargetConfig,
-                     enable_warping: bool = True) -> SimulationResult:
+                     enable_warping: bool = True,
+                     memo=None) -> SimulationResult:
     """Simulate ``scop`` with warping on a cache or hierarchy config.
 
     Hierarchies of any depth and every inclusion policy are supported;
     ``config.inclusion`` selects the policy.  ``enable_warping=False``
     degrades to plain symbolic simulation, which is useful for ablation
     measurements.
+
+    Passing a :class:`~repro.cache.config.ShardedCacheConfig` (or a
+    hierarchy of them, see
+    :func:`repro.cache.config.shard_target_config`) simulates one set
+    shard: only the accesses owned by the shard are performed and
+    counted, and warping operates on the shard's rotation symmetry.
+
+    ``memo`` is an optional warp-analysis memo scope provider (an
+    object with ``loop_scope(loop_key, prefix) -> dict``); see
+    :class:`repro.perf.memo.WarpMemo`.  Memoised values are
+    deterministic polyhedral facts, so sharing a memo across runs never
+    changes results — only speed.
+
+    Warping is exact: hit/miss counts match per-access simulation.
+
+    >>> from repro import (Cache, CacheConfig, build_kernel,
+    ...                    simulate_nonwarping, simulate_warping)
+    >>> scop = build_kernel("jacobi-1d", "MINI")
+    >>> config = CacheConfig(1024, 4, 32, "lru")
+    >>> warped = simulate_warping(scop, config)
+    >>> baseline = simulate_nonwarping(scop, Cache(config))
+    >>> warped.l1_misses == baseline.l1_misses
+    True
+    >>> warped.warp_count > 0
+    True
     """
     if isinstance(config, HierarchyConfig):
         target = SymbolicHierarchy(config)
     else:
         target = SingleLevel(config)
-    runner = _WarpingRunner(scop, target, enable_warping)
+    runner = _WarpingRunner(scop, target, enable_warping, memo=memo)
     start = time.perf_counter()
     for root in scop.roots:
         runner.run_node(root, ())
@@ -115,7 +141,8 @@ class _WarpingRunner:
     def __init__(self, scop: Scop,
                  target: Union[SingleLevel, SymbolicHierarchy,
                                Sequence[SymbolicCache]],
-                 enable_warping: bool = True):
+                 enable_warping: bool = True,
+                 memo=None):
         self.scop = scop
         if isinstance(target, (list, tuple)):
             target = _NineLevels(target)
@@ -124,10 +151,31 @@ class _WarpingRunner:
         self.block_size = self.levels[0].config.block_size
         from repro.cache.config import IndexFunction
 
+        # Set sharding: when the target is built from sharded configs
+        # (ShardedCacheConfig), only blocks of the shard's residue class
+        # are accessed, and block shifts must additionally be multiples
+        # of the shard modulus to induce a rotation of the shard's sets.
+        self.shard_modulus = getattr(self.levels[0].config,
+                                     "shard_modulus", 1)
+        self.shard_residue = getattr(self.levels[0].config,
+                                     "shard_residue", 0)
+        for level in self.levels[1:]:
+            if (getattr(level.config, "shard_modulus", 1)
+                    != self.shard_modulus
+                    or getattr(level.config, "shard_residue", 0)
+                    != self.shard_residue):
+                raise ValueError(
+                    "all hierarchy levels must share one shard")
+        #: A node's byte shift must be a multiple of this for its block
+        #: shift to be constant (block alignment) AND to stay inside the
+        #: shard's residue class (modulus alignment).
+        self._shift_unit = self.block_size * self.shard_modulus
         # Warping's match detection relies on the rotation symmetry of
         # modulo placement (paper Sec. 7: hashed/sliced indexing keeps
         # data independence but defeats rotating matches).  Fall back to
         # plain symbolic simulation for non-modulo index functions.
+        # (A shard of a modulo-placed cache keeps the symmetry: its sets
+        # are every K-th set of the full cache, renumbered.)
         modulo_only = all(
             level.config.index_function is IndexFunction.MODULO
             for level in self.levels
@@ -144,6 +192,32 @@ class _WarpingRunner:
         self._pair_disjoint: Dict[Tuple[int, int], bool] = {}
         # Per-loop-node count of executions that found no match at all.
         self._matchless_runs: Dict[int, int] = {}
+        # Stable node/loop keys (preorder indices): identical for every
+        # rebuild of the same SCoP, unlike id(), so they key the
+        # cross-run analysis memo.
+        self._memo = memo
+        self._node_key: Dict[int, int] = {
+            id(node): index
+            for index, node in enumerate(scop.access_nodes())
+        }
+        self._loop_key: Dict[int, int] = {
+            id(loop): index
+            for index, loop in enumerate(scop.loop_nodes())
+        }
+
+    def _analysis_scope(self, loop: LoopNode,
+                        prefix: Tuple[int, ...]) -> Dict:
+        """Analysis cache for one loop execution.
+
+        Without a memo this is a fresh dict (each (loop, prefix) pair
+        executes once per simulation); with one, the same persistent
+        dict is handed out across simulations of structurally identical
+        SCoPs, so the polyhedral analyses are computed once per sweep
+        rather than once per point.
+        """
+        if self._memo is None:
+            return {}
+        return self._memo.loop_scope(self._loop_key[id(loop)], prefix)
 
     # -- tree walk (Algorithm 2) ------------------------------------------------
 
@@ -158,6 +232,9 @@ class _WarpingRunner:
         if not node.in_domain(point):
             return
         block = node.addr_at(point) // self.block_size
+        if (self.shard_modulus > 1
+                and block % self.shard_modulus != self.shard_residue):
+            return  # another shard owns this block
         sym = (node, point)
         self.accesses += 1
         self.explicit_accesses += 1
@@ -180,8 +257,9 @@ class _WarpingRunner:
                     and matchless < self.max_matchless_executions)
         had_match = False
         history: Dict[Tuple, Tuple[int, Tuple[Tuple[int, int], ...], int]] = {}
-        # Per-loop-execution caches for the polyhedral analyses.
-        analysis_cache: Dict = {}
+        # Per-loop-execution caches for the polyhedral analyses
+        # (memo-backed and persistent across runs when a memo is set).
+        analysis_cache: Dict = self._analysis_scope(loop, prefix)
         fail_streak = 0
         value = lo
         while value <= hi:
@@ -249,17 +327,18 @@ class _WarpingRunner:
         """
         nodes = list(loop.access_descendants())
         own_index = loop.depth - 1
+        modulus = self.shard_modulus
 
-        # (a) Per-node byte shifts must be block-aligned (makes the induced
-        # block mapping a constant shift; matches only occur at alignment
-        # periods anyway, cf. module docstring).
+        # (a) Per-node byte shifts must be aligned to block size times
+        # shard modulus (makes the induced block mapping a constant
+        # shift that stays inside the shard's residue class; matches
+        # only occur at alignment periods anyway, cf. module docstring).
         shifts: Dict[int, int] = {}
-        pending_empty_check: List[AccessNode] = []
         for node in nodes:
             coeff = (node.coeff_vector()[own_index]
                      if own_index < len(node.dims) else 0)
             byte_shift = coeff * delta
-            if byte_shift % self.block_size != 0:
+            if byte_shift % self._shift_unit != 0:
                 if self._region_empty(node, loop, prefix, i0, last,
                                       analysis_cache):
                     continue
@@ -267,7 +346,8 @@ class _WarpingRunner:
             shifts[id(node)] = byte_shift // self.block_size
 
         # (b) Rotation consistency per level: every executing node's block
-        # shift must induce the same set rotation.
+        # shift must induce the same set rotation (of the shard's sets,
+        # under sharding: shard rotation = block shift / modulus).
         level_rotations: List[int] = []
         for level in self.levels:
             num_sets = level.config.num_sets
@@ -275,7 +355,7 @@ class _WarpingRunner:
             for node in nodes:
                 if id(node) not in shifts:
                     continue
-                node_rot = shifts[id(node)] % num_sets
+                node_rot = (shifts[id(node)] // modulus) % num_sets
                 if rot is None:
                     rot = node_rot
                 elif rot != node_rot:
@@ -301,7 +381,7 @@ class _WarpingRunner:
                     coeff = (node.coeff_vector()[own_index]
                              if own_index < len(node.dims) else 0)
                     byte_shift = coeff * delta
-                    if byte_shift % self.block_size != 0:
+                    if byte_shift % self._shift_unit != 0:
                         return False
                     entry_shifts[id(node)] = byte_shift // self.block_size
         entry_shifts.update(shifts)
@@ -347,7 +427,7 @@ class _WarpingRunner:
                       prefix: Tuple[int, ...], i0: int, last: int,
                       analysis_cache: Dict) -> bool:
         """True if ``node`` performs no access for own-dim in [i0, last]."""
-        key = ("empty", id(node), i0, last)
+        key = ("empty", self._node_key[id(node)], i0, last)
         if key in analysis_cache:
             return analysis_cache[key]
         domain = node.full_domain
@@ -427,6 +507,10 @@ class _WarpingRunner:
         guard pattern differs from the corresponding iteration of the
         match interval cannot be warped across.
         """
+        memo_key = ("fbd", i0, i1, last)
+        cached = analysis_cache.get(memo_key)
+        if cached is not None:
+            return cached
         bound = last + loop.stride
         own = loop.iterator
         for node in loop.access_descendants():
@@ -441,7 +525,8 @@ class _WarpingRunner:
             if conflict is not None:
                 bound = min(bound, conflict)
                 if bound <= i1:
-                    return bound
+                    break
+        analysis_cache[memo_key] = bound
         return bound
 
     def _interval_conflict(self, loop: LoopNode, node: AccessNode,
@@ -508,7 +593,7 @@ class _WarpingRunner:
         if domain.divs or domain.exists:
             # Cannot negate; conservatively refuse to warp past i1.
             return i1
-        key = ("dom", id(node), i0, i1, delta)
+        key = ("dom", self._node_key[id(node)], i0, i1, delta)
         if key in analysis_cache:
             return analysis_cache[key]
         own = loop.iterator
@@ -565,6 +650,10 @@ class _WarpingRunner:
         block within the access interval, no single bijection pi can
         relate consecutive copies of the access sequence past that point.
         """
+        memo_key = ("fbo", i0, last)
+        cached_bound = analysis_cache.get(memo_key)
+        if cached_bound is not None:
+            return cached_bound
         own_index = loop.depth - 1
         nodes = list(loop.access_descendants())
         bound = last + loop.stride
@@ -579,7 +668,8 @@ class _WarpingRunner:
                     continue  # identical shift: always compatible
                 if self._arrays_disjoint(node_a, node_b):
                     continue  # distinct arrays, disjoint block ranges
-                key = ("overlap", id(node_a), id(node_b))
+                key = ("overlap", self._node_key[id(node_a)],
+                       self._node_key[id(node_b)])
                 cached = analysis_cache.get(key)
                 if cached is not None:
                     cached_i0, conflict = cached
@@ -593,6 +683,7 @@ class _WarpingRunner:
                 analysis_cache[key] = (i0, conflict)
                 if conflict is not None:
                     bound = min(bound, conflict)
+        analysis_cache[memo_key] = bound
         return bound
 
     def _arrays_disjoint(self, node_a: AccessNode,
@@ -670,7 +761,7 @@ class _WarpingRunner:
         for node in loop.access_descendants():
             if id(node) not in shifts:
                 continue  # proven not to execute in the region
-            key = ("hull", id(node), i0, bound)
+            key = ("hull", self._node_key[id(node)], i0, bound)
             if key in analysis_cache:
                 hull = analysis_cache[key]
             else:
@@ -680,11 +771,11 @@ class _WarpingRunner:
                 continue
             hulls.append((hull[0], hull[1], shifts[id(node)]))
 
-        block_size = self.block_size
+        modulus = self.shard_modulus
         for level, rotation in zip(self.levels, level_rotations):
             num_sets = level.config.num_sets
             for node_hull in hulls:
-                if node_hull[2] % num_sets != rotation:
+                if (node_hull[2] // modulus) % num_sets != rotation:
                     return False
             for set_state in level.sets:
                 for line, sym in enumerate(set_state.syms):
@@ -704,7 +795,7 @@ class _WarpingRunner:
                                 shift != entry_shift:
                             return False
                     # The entry's own movement must respect the rotation.
-                    if entry_shift % num_sets != rotation:
+                    if (entry_shift // modulus) % num_sets != rotation:
                         return False
         return True
 

@@ -23,7 +23,16 @@ from __future__ import annotations
 
 
 class TransformError(ValueError):
-    """Base class of all schedule-transformation failures."""
+    """Base class of all schedule-transformation failures.
+
+    >>> from repro import TransformError, apply_pipeline, build_kernel
+    >>> try:
+    ...     apply_pipeline(build_kernel("mvt", "MINI"),
+    ...                    "interchange(i,nope)")
+    ... except TransformError as exc:
+    ...     print(type(exc).__name__)
+    NotPerfectlyNestedError
+    """
 
 
 class PipelineSyntaxError(TransformError):

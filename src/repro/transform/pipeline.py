@@ -66,7 +66,14 @@ _ARITY = {
 
 @dataclass(frozen=True)
 class TransformStep:
-    """One transformation: an op, target iterators and optional sizes."""
+    """One transformation: an op, target iterators and optional sizes.
+
+    >>> from repro import TransformStep
+    >>> TransformStep("tile", ("i", "j"), (32,)).spec()
+    'tile(i,j:32x32)'
+    >>> TransformStep("interchange", ("i", "j")).spec()
+    'interchange(i,j)'
+    """
 
     op: str
     iterators: Tuple[str, ...]
@@ -158,7 +165,15 @@ class TransformStep:
 
 @dataclass(frozen=True)
 class Pipeline:
-    """An ordered sequence of :class:`TransformStep`."""
+    """An ordered sequence of :class:`TransformStep`.
+
+    >>> from repro import Pipeline
+    >>> pipeline = Pipeline.parse("tile(i,j:8x8);  interchange(jj, i)")
+    >>> pipeline.spec()                      # canonical form
+    'tile(i,j:8x8); interchange(jj,i)'
+    >>> len(pipeline)
+    2
+    """
 
     steps: Tuple[TransformStep, ...] = field(default_factory=tuple)
 
@@ -285,7 +300,16 @@ def as_pipeline(transform: PipelineLike) -> Optional[Pipeline]:
 
 
 def apply_pipeline(scop: Scop, transform: PipelineLike) -> Scop:
-    """Apply a transform (in any accepted form) to a SCoP."""
+    """Apply a transform (in any accepted form) to a SCoP.
+
+    Transformations reorder iterations but never add or drop accesses:
+
+    >>> from repro import apply_pipeline, build_kernel
+    >>> scop = build_kernel("mvt", "MINI")
+    >>> tiled = apply_pipeline(scop, "tile(i,j:8x8)")
+    >>> tiled.count_accesses() == scop.count_accesses()
+    True
+    """
     pipeline = as_pipeline(transform)
     if pipeline is None:
         return scop

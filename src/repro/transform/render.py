@@ -19,7 +19,12 @@ from repro.polyhedral.model import AccessNode, LoopNode, Scop
 
 
 def render_scop(scop: Scop, indent: str = "  ") -> str:
-    """The whole SCoP as indented pseudo-code."""
+    """The whole SCoP as indented pseudo-code.
+
+    >>> from repro import build_kernel, render_scop
+    >>> print(render_scop(build_kernel("mvt", "MINI")).splitlines()[0])
+    for i = 0 .. 39:
+    """
     lines: List[str] = []
     for root in scop.roots:
         _render_node(root, None, 0, indent, lines)

@@ -1,0 +1,148 @@
+"""Warp-interval memoization: soundness and reuse.
+
+The memo may only ever skip recomputation of deterministic polyhedral
+facts — sharing it across runs, points and configs must be invisible in
+the simulation results.  These tests pin that (differentially, across
+a mini-sweep) and that reuse actually happens (stats).
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.explore.spec import SweepSpec
+from repro.perf.memo import WarpMemo, global_memo
+from repro.perf.signature import scop_signature
+from repro.polybench import build_kernel
+from repro.simulation import simulate_warping
+
+KERNELS = ["jacobi-2d", "trisolv", "lu", "gemm"]
+
+
+def _run(kernel, config, memo=None):
+    scop = build_kernel(kernel, "MINI")
+    provider = memo.for_simulation(scop, config) if memo else None
+    return simulate_warping(scop, config, memo=provider)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_memo_never_changes_results_across_sizes(self, kernel):
+        """A sweep over L1 capacities with one shared memo is
+        bit-identical to memo-less runs."""
+        memo = WarpMemo()
+        for size in (512, 1024, 2048):
+            config = CacheConfig(size, 4, 32, "plru")
+            plain = _run(kernel, config)
+            memoed = _run(kernel, config, memo)
+            again = _run(kernel, config, memo)  # warm hit
+            for other in (memoed, again):
+                assert other.accesses == plain.accesses
+                assert [(s.hits, s.misses) for s in other.levels] == \
+                    [(s.hits, s.misses) for s in plain.levels]
+                assert other.warp_count == plain.warp_count
+
+    def test_memo_across_policies_and_hierarchy(self):
+        memo = WarpMemo()
+        l2 = CacheConfig(4096, 8, 32, "qlru", name="L2")
+        for policy in ("lru", "plru", "fifo"):
+            config = HierarchyConfig(
+                CacheConfig(1024, 4, 32, policy, name="L1"), l2)
+            plain = _run("jacobi-2d", config)
+            memoed = _run("jacobi-2d", config, memo)
+            assert [(s.hits, s.misses) for s in memoed.levels] == \
+                [(s.hits, s.misses) for s in plain.levels]
+
+
+class TestReuse:
+    def test_pattern_key_hits_on_identical_rebuilds(self):
+        memo = WarpMemo()
+        config = CacheConfig(1024, 4, 32, "plru")
+        _run("jacobi-2d", config, memo)
+        assert memo.stats.pattern_misses == 1
+        before = memo.stats.value_hits
+        _run("jacobi-2d", config, memo)
+        assert memo.stats.pattern_hits == 1
+        assert memo.stats.value_hits > before
+
+    def test_cache_size_in_same_pattern(self):
+        """The key is (policy, assoc, signature, block size) — cache
+        capacity sweeps share one pattern entry."""
+        memo = WarpMemo()
+        for size in (512, 1024, 2048):
+            _run("jacobi-2d", CacheConfig(size, 4, 32, "plru"), memo)
+        assert memo.stats.pattern_misses == 1
+        assert memo.stats.pattern_hits == 2
+
+    def test_policy_changes_the_key(self):
+        memo = WarpMemo()
+        _run("jacobi-2d", CacheConfig(1024, 4, 32, "plru"), memo)
+        _run("jacobi-2d", CacheConfig(1024, 4, 32, "lru"), memo)
+        assert memo.stats.pattern_misses == 2
+
+    def test_pattern_eviction_caps_memory(self):
+        memo = WarpMemo(max_patterns=2)
+        _run("jacobi-2d", CacheConfig(1024, 4, 32, "plru"), memo)
+        _run("trisolv", CacheConfig(1024, 4, 32, "plru"), memo)
+        _run("gemm", CacheConfig(1024, 4, 32, "plru"), memo)
+        assert memo.stats.evicted_patterns == 1
+        assert len(memo._patterns) == 2
+
+    def test_scope_cap_degrades_gracefully(self):
+        memo = WarpMemo(max_scopes=1)
+        config = CacheConfig(1024, 4, 32, "plru")
+        plain = _run("jacobi-2d", config)
+        memoed = _run("jacobi-2d", config, memo)
+        assert memoed.l1_misses == plain.l1_misses
+        assert memo.stats.scopes <= 1
+
+    def test_global_memo_is_singleton(self):
+        assert global_memo() is global_memo()
+
+
+class TestSignature:
+    def test_stable_across_rebuilds(self):
+        assert scop_signature(build_kernel("gemm", "MINI")) == \
+            scop_signature(build_kernel("gemm", "MINI"))
+
+    def test_sizes_and_kernels_distinguish(self):
+        signatures = {
+            scop_signature(build_kernel("gemm", "MINI")),
+            scop_signature(build_kernel("gemm", "SMALL")),
+            scop_signature(build_kernel("atax", "MINI")),
+        }
+        assert len(signatures) == 3
+
+    def test_transform_changes_signature(self):
+        plain = scop_signature(build_kernel("mvt", "MINI"))
+        tiled = scop_signature(
+            build_kernel("mvt", "MINI", transform="tile(i,j:8x8)"))
+        assert plain != tiled
+
+    def test_transform_signature_stable(self):
+        a = scop_signature(
+            build_kernel("mvt", "MINI", transform="tile(i,j:8x8)"))
+        b = scop_signature(
+            build_kernel("mvt", "MINI", transform="tile(i,j:8x8)"))
+        assert a == b
+
+    def test_cached_on_instance(self):
+        scop = build_kernel("mvt", "MINI")
+        first = scop_signature(scop)
+        assert getattr(scop, "_perf_signature") == first
+
+
+def test_sweep_points_share_global_memo():
+    """simulate_point feeds warping runs through the global memo."""
+    from repro.explore.runner import simulate_point
+
+    memo = global_memo()
+    memo.clear()
+    spec = SweepSpec(kernels=["jacobi-2d"], sizes=["MINI"],
+                     l1_sizes=[512, 1024, 2048], l1_assocs=[4],
+                     l1_policies=["plru"], block_sizes=[32])
+    points = spec.expand()
+    results = [simulate_point(point) for point in points]
+    assert len(results) == 3
+    assert memo.stats.pattern_misses >= 1
+    assert memo.stats.pattern_hits >= 2
+    memo.clear()
