@@ -34,6 +34,9 @@ Package map:
 * :mod:`repro.perf` — the performance layer: set-sharded parallel
   simulation, warp-interval memoization, the ``repro bench``
   trajectory harness.
+* :mod:`repro.obs` — observability: hierarchical span tracing, named
+  counters, phase profiling (``repro profile``), and the package-wide
+  logging setup.
 
 Design-space sweeps::
 
@@ -47,6 +50,7 @@ Design-space sweeps::
         frontier = pareto_frontier(store.ok_records())
 """
 
+from repro import obs
 from repro.cache import (
     Cache,
     CacheConfig,
@@ -84,9 +88,10 @@ from repro.transform import (
 
 #: Single source of the package version: ``setup.py`` parses this
 #: assignment and the CLI exposes it as ``repro --version``.
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "obs",
     "Cache",
     "CacheConfig",
     "CacheHierarchy",

@@ -11,9 +11,9 @@ Dinero differs from the paper's tree-based simulator.
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, List, Optional, Union
 
+from repro import obs
 from repro.cache.cache import Cache
 from repro.cache.config import CacheConfig, HierarchyConfig
 from repro.cache.hierarchy import CacheHierarchy
@@ -63,11 +63,10 @@ def simulate_dinero(scop: Scop,
     generation with QEMU".  ``extra_trace`` allows injecting additional
     accesses (the hardware oracle uses this for scalar traffic).
     """
-    start = time.perf_counter()
-    simulator = DineroSimulator(config)
-    trace = materialize_trace(scop, simulator.block_size)
-    if extra_trace:
-        trace = trace + extra_trace
-    simulator.run_trace(trace)
-    elapsed = time.perf_counter() - start
-    return simulator.result(scop.name, len(trace), elapsed)
+    with obs.Stopwatch("baseline.dinero") as watch:
+        simulator = DineroSimulator(config)
+        trace = materialize_trace(scop, simulator.block_size)
+        if extra_trace:
+            trace = trace + extra_trace
+        simulator.run_trace(trace)
+    return simulator.result(scop.name, len(trace), watch.elapsed)

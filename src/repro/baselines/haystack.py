@@ -19,9 +19,9 @@ warping on its favourable kernels).
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.cache.config import CacheConfig
 from repro.polyhedral.model import Scop
 from repro.simulation.result import SimulationResult
@@ -84,11 +84,11 @@ def haystack_misses(scop: Scop, config: CacheConfig) -> SimulationResult:
     fully-associative LRU assumption — exactly HayStack's behaviour when
     pointed at a set-associative cache.
     """
-    start = time.perf_counter()
-    assoc = config.size_bytes // config.block_size
-    blocks = (b for b, _ in iter_trace(scop, config.block_size))
-    misses, accesses = lru_stack_misses(blocks, assoc)
-    elapsed = time.perf_counter() - start
+    with obs.Stopwatch("baseline.haystack") as watch:
+        assoc = config.size_bytes // config.block_size
+        blocks = (b for b, _ in iter_trace(scop, config.block_size))
+        misses, accesses = lru_stack_misses(blocks, assoc)
+    elapsed = watch.elapsed
     return SimulationResult(
         scop_name=scop.name,
         accesses=accesses,

@@ -18,9 +18,9 @@ hierarchies of any depth.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Tuple, Union
 
+from repro import obs
 from repro.cache.config import (
     CacheConfig,
     HierarchyConfig,
@@ -99,7 +99,6 @@ def polycache_misses(scop: Scop,
                      config: Union[CacheConfig, HierarchyConfig]
                      ) -> SimulationResult:
     """Model a SCoP on a set-associative LRU cache or NINE hierarchy."""
-    start = time.perf_counter()
     if isinstance(config, HierarchyConfig):
         if config.inclusion is not InclusionPolicy.NINE:
             raise ValueError("the PolyCache model applies to NINE "
@@ -109,20 +108,24 @@ def polycache_misses(scop: Scop,
         level_configs = [config]
     if any(cfg.policy != "lru" for cfg in level_configs):
         raise ValueError("the PolyCache model applies to LRU caches only")
-    blocks = [b for b, _ in iter_trace(scop, level_configs[0].block_size)]
-    result = SimulationResult(
-        scop_name=scop.name,
-        accesses=len(blocks),
-        simulated_accesses=len(blocks),
-        extra={"model": "polycache"},
-    )
-    # Level by level: each level sees exactly the previous level's misses.
-    stats: List[LevelStats] = []
-    stream = blocks
-    for cfg in level_configs:
-        misses, flags = _per_set_misses(stream, cfg)
-        stats.append(LevelStats(cfg.name, len(stream) - misses, misses))
-        stream = [b for b, flag in zip(stream, flags) if flag]
-    result.levels = stats
-    result.wall_time = time.perf_counter() - start
+    with obs.Stopwatch("baseline.polycache") as watch:
+        blocks = [b for b, _ in iter_trace(scop,
+                                           level_configs[0].block_size)]
+        result = SimulationResult(
+            scop_name=scop.name,
+            accesses=len(blocks),
+            simulated_accesses=len(blocks),
+            extra={"model": "polycache"},
+        )
+        # Level by level: each level sees exactly the previous level's
+        # misses.
+        stats: List[LevelStats] = []
+        stream = blocks
+        for cfg in level_configs:
+            misses, flags = _per_set_misses(stream, cfg)
+            stats.append(LevelStats(cfg.name, len(stream) - misses,
+                                    misses))
+            stream = [b for b, flag in zip(stream, flags) if flag]
+        result.levels = stats
+    result.wall_time = watch.elapsed
     return result

@@ -26,9 +26,9 @@ exact per-set model in :mod:`repro.baselines.polycache`.
 from __future__ import annotations
 
 import math
-import time
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro import obs
 from repro.polyhedral.model import Scop
 from repro.simulation.trace import iter_trace
 
@@ -157,12 +157,12 @@ def _binomial_tail(n: int, p: float, k: int) -> float:
 def analyze(scop: Scop, block_size: int,
             capacities: Sequence[int]) -> Dict[str, object]:
     """One-call summary: histogram + miss counts for given capacities."""
-    start = time.perf_counter()
-    histogram = scop_stack_histogram(scop, block_size)
-    misses = misses_for_sizes(histogram, capacities)
+    with obs.Stopwatch("baseline.stack_histogram") as watch:
+        histogram = scop_stack_histogram(scop, block_size)
+        misses = misses_for_sizes(histogram, capacities)
     return {
         "histogram": histogram,
         "misses": misses,
         "accesses": sum(histogram.values()),
-        "wall_time": time.perf_counter() - start,
+        "wall_time": watch.elapsed,
     }

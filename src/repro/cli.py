@@ -18,6 +18,9 @@ design-space exploration engine of :mod:`repro.explore`:
     python -m repro compare --kernel atax --size MINI \\
         --l1-size 2048 --l1-assoc 8
 
+    python -m repro profile --kernel gemm --size MINI \\
+        --l1-size 2048 --l1-assoc 8 --trace-out trace.json
+
     python -m repro simulate --kernel mvt --size MINI \\
         --transform 'tile(i,j:32x32)' --l1-size 2048 --l1-assoc 8
 
@@ -46,7 +49,9 @@ import re
 import sys
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.baselines import haystack_misses, polycache_misses
+from repro.obs.log import configure as configure_logging, get_logger
 from repro.cache.config import (
     CacheConfig,
     HierarchyConfig,
@@ -88,6 +93,8 @@ from repro.transform import (
 
 DEFAULT_STORE = "sweep_results.jsonl"
 
+_LOG = get_logger("repro.cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
@@ -99,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+    _add_verbosity_args(parser, top=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser(
@@ -112,6 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="set-shard the simulation across this many worker "
              "processes (tree/warping engines; results are "
              "bit-identical to --workers 1)")
+    simulate.add_argument("--profile", action="store_true",
+                          help="trace the run and print a phase/counter "
+                               "profile to stderr")
     simulate.add_argument("--json", action="store_true",
                           help="machine-readable output")
 
@@ -120,7 +131,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_program_args(compare)
     _add_cache_args(compare)
     _add_engine_args(compare, default_engine=None)
+    compare.add_argument("--profile", action="store_true",
+                         help="trace all runs and print a combined "
+                              "phase/counter profile to stderr")
     compare.add_argument("--json", action="store_true")
+
+    profile = sub.add_parser(
+        "profile", help="simulate one program under the span tracer "
+                        "and print the phase-attribution profile")
+    _add_program_args(profile)
+    _add_cache_args(profile)
+    _add_engine_args(profile, default_engine="warping")
+    profile.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="also write the raw span events as Chrome trace-event "
+             "JSON (open in chrome://tracing or Perfetto)")
+    profile.add_argument(
+        "--collapsed", metavar="FILE", default=None,
+        help="also write flamegraph-collapsed stacks "
+             "('path;to;span <self-us>' lines for flamegraph.pl or "
+             "speedscope)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the phases payload (spans, "
+                              "counters, coverage) plus the "
+                              "simulation result")
 
     transform = sub.add_parser(
         "transform", help="pretty-print a program's (transformed) "
@@ -191,7 +225,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="size classes to compute exact access counts for in the "
              "--json output (counting enumerates the outer iteration "
              "space; default MINI, pass '' to disable)")
+    for subparser in (simulate, compare, profile, transform, sweep,
+                      frontier, bench, lister):
+        _add_verbosity_args(subparser)
     return parser
+
+
+def _add_verbosity_args(parser: argparse.ArgumentParser,
+                        top: bool = False) -> None:
+    """``-v``/``-q`` flags, accepted before and after the subcommand.
+
+    The top-level parser carries the real defaults; subparser copies
+    use ``SUPPRESS`` so an unused flag never clobbers a value parsed
+    before the subcommand (``repro -v sweep ...``).
+    """
+    default = 0 if top else argparse.SUPPRESS
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=default,
+        help="more diagnostics on stderr (-v: per-point/per-shard "
+             "DEBUG detail)")
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=default,
+        help="fewer diagnostics on stderr (-q: warnings and errors "
+             "only, -qq: errors only)")
 
 
 def _add_program_args(parser: argparse.ArgumentParser) -> None:
@@ -362,6 +418,10 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
                         help="re-simulate points already in the store")
     parser.add_argument("--table", action="store_true",
                         help="print the per-point result table")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a phase/counter profile aggregated "
+                             "over all successful points (including "
+                             "points loaded from the store) to stderr")
     parser.add_argument("--json", action="store_true")
 
 
@@ -448,18 +508,37 @@ def result_dict(result, has_l2: Optional[bool] = None) -> dict:
     return result_payload(result, has_l2=has_l2)
 
 
+def _print_profile(tracer, title: str,
+                   wall_s: Optional[float] = None) -> None:
+    """Render a ``--profile`` report on stderr (stdout stays clean
+    for ``--json`` payloads and result tables)."""
+    from repro.obs.profile import render_profile
+
+    print(render_profile(tracer, title=title, wall_s=wall_s),
+          file=sys.stderr)
+
+
 def cmd_simulate(args) -> int:
     scop = load_program(args)
     config = load_config(args)
-    if args.workers > 1 and args.engine in ("tree", "warping"):
-        from repro.perf.sharding import shard_simulate
 
-        result = shard_simulate(scop, config, engine=args.engine,
-                                workers=args.workers,
-                                enable_warping=not args.no_warping)
+    def run():
+        if args.workers > 1 and args.engine in ("tree", "warping"):
+            from repro.perf.sharding import shard_simulate
+
+            return shard_simulate(scop, config, engine=args.engine,
+                                  workers=args.workers,
+                                  enable_warping=not args.no_warping)
+        return run_engine(scop, config, args.engine,
+                          enable_warping=not args.no_warping)
+
+    if args.profile:
+        with obs.collect() as tracer:
+            result = run()
+        _print_profile(tracer, f"{scop.name} phase attribution",
+                       wall_s=result.wall_time)
     else:
-        result = run_engine(scop, config, args.engine,
-                            enable_warping=not args.no_warping)
+        result = run()
     if args.json:
         payload = result_dict(result)
         if args.transform:
@@ -519,24 +598,35 @@ def cmd_compare(args) -> int:
     is_hierarchy = isinstance(config, HierarchyConfig)
     l1 = config.l1 if is_hierarchy else config
     engines = [args.engine] if args.engine else list(ENGINES)
-    rows = []
-    for engine in engines:
-        name = engine
-        if engine == "warping" and args.no_warping:
-            # Mark the ablation so timings are never misattributed.
-            name = "warping (warping off)"
-        rows.append((name,
-                     run_engine(scop, config, engine,
-                                enable_warping=not args.no_warping)))
-    # HayStack models a single FA L1 only, so its result carries no
-    # outer-level counters in a hierarchy comparison.
-    rows.append(("haystack (FA LRU)", haystack_misses(scop, l1)))
-    # PolyCache models NINE LRU only — at every level of the hierarchy.
-    all_lru = (l1.policy == "lru" if not is_hierarchy
-               else all(cfg.policy == "lru" for cfg in config.levels))
-    if all_lru and (not is_hierarchy
-                    or config.inclusion is InclusionPolicy.NINE):
-        rows.append(("polycache", polycache_misses(scop, config)))
+    tracer = obs.enable() if args.profile else None
+    try:
+        rows = []
+        for engine in engines:
+            name = engine
+            if engine == "warping" and args.no_warping:
+                # Mark the ablation so timings are never misattributed.
+                name = "warping (warping off)"
+            rows.append((name,
+                         run_engine(scop, config, engine,
+                                    enable_warping=not args.no_warping)))
+        # HayStack models a single FA L1 only, so its result carries no
+        # outer-level counters in a hierarchy comparison.
+        rows.append(("haystack (FA LRU)", haystack_misses(scop, l1)))
+        # PolyCache models NINE LRU only — at every level of the
+        # hierarchy.
+        all_lru = (l1.policy == "lru" if not is_hierarchy
+                   else all(cfg.policy == "lru" for cfg in config.levels))
+        if all_lru and (not is_hierarchy
+                        or config.inclusion is InclusionPolicy.NINE):
+            rows.append(("polycache", polycache_misses(scop, config)))
+    finally:
+        if tracer is not None:
+            obs.disable()
+    if tracer is not None:
+        # Every engine's root span sits side by side in one table, so
+        # the denominator is the sum of root spans, not one wall time.
+        _print_profile(tracer, f"{scop.name} phase attribution "
+                               f"(all engines)")
     if args.json:
         print(json.dumps({name: result_dict(result)
                           for name, result in rows}, indent=2))
@@ -544,6 +634,49 @@ def cmd_compare(args) -> int:
         for name, result in rows:
             print(f"{name:18s} L1 misses {result.l1_misses:10d}  "
                   f"({result.wall_time * 1000:8.1f} ms)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.obs.profile import (
+        phases_payload,
+        render_profile,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    scop = load_program(args)
+    config = load_config(args)
+    with obs.collect() as tracer:
+        result = run_engine(scop, config, args.engine,
+                            enable_warping=not args.no_warping)
+    if args.trace_out:
+        trace = write_chrome_trace(tracer, args.trace_out)
+        validate_chrome_trace(trace)
+    if args.collapsed:
+        collapsed = tracer.to_collapsed()
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(collapsed + ("\n" if collapsed else ""))
+    if args.json:
+        payload = phases_payload(tracer, result.wall_time,
+                                 kernel=scop.name, engine=args.engine)
+        payload["result"] = result_dict(result)
+        print(json.dumps(payload, indent=2))
+        return 0
+    engine_label = args.engine
+    if args.engine == "warping" and args.no_warping:
+        engine_label = "warping, warping off"
+    print(f"{scop.name}: {result.accesses} accesses, "
+          f"{result.l1_misses} L1 misses, "
+          f"{result.wall_time * 1000:.1f} ms ({engine_label})")
+    print()
+    print(render_profile(tracer,
+                         title=f"{scop.name} phase attribution",
+                         wall_s=result.wall_time))
+    for path, label in ((args.trace_out, "Chrome trace"),
+                        (args.collapsed, "collapsed stacks")):
+        if path:
+            print(f"wrote {label} to {path}")
     return 0
 
 
@@ -589,9 +722,9 @@ def cmd_sweep(args) -> int:
             f"combinations have invalid cache geometry, e.g. a "
             f"capacity not divisible by assoc * block_size)")
     if stats.get("invalid"):
-        print(f"sweep: note: dropped {stats['invalid']} of "
-              f"{stats['raw']} grid combinations with invalid cache "
-              f"geometry", file=sys.stderr)
+        _LOG.warning(
+            "sweep: note: dropped %d of %d grid combinations with "
+            "invalid cache geometry", stats["invalid"], stats["raw"])
     with open_store(args.store) as store:
         try:
             outcome = run_sweep(
@@ -600,10 +733,15 @@ def cmd_sweep(args) -> int:
                 point_workers=args.point_workers)
         except KeyboardInterrupt:
             done = len(store.completed_keys())
-            print(f"\nsweep interrupted: {done} points in "
-                  f"{args.store}; re-run the same command to resume",
-                  file=sys.stderr)
+            _LOG.warning(
+                "sweep interrupted: %d points in %s; re-run the same "
+                "command to resume", done, args.store)
             return 130
+    if args.profile:
+        _print_profile(
+            _aggregate_sweep_tracer(outcome.ok_records),
+            f"sweep phase attribution "
+            f"({len(outcome.ok_records)} points)")
     if args.json:
         payload = outcome.to_dict()
         payload["store"] = args.store
@@ -615,6 +753,20 @@ def cmd_sweep(args) -> int:
             print()
             print(sweep_table(outcome.ok_records))
     return 1 if outcome.errors else 0
+
+
+def _aggregate_sweep_tracer(records):
+    """Sum the persisted per-point ``phases``/``counters`` sections of
+    successful sweep records into one tracer for reporting."""
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    for record in records:
+        result = record.get("result") or {}
+        tracer.merge_phase_totals(result.get("phases") or {})
+        for name, value in (result.get("counters") or {}).items():
+            tracer.count(name, value)
+    return tracer
 
 
 def cmd_frontier(args) -> int:
@@ -727,11 +879,16 @@ def cmd_list_kernels(args) -> int:
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    verbosity = (getattr(args, "verbose", 0) or 0) \
+        - (getattr(args, "quiet", 0) or 0)
+    configure_logging(verbosity)
     try:
         if args.command == "simulate":
             return cmd_simulate(args)
         if args.command == "compare":
             return cmd_compare(args)
+        if args.command == "profile":
+            return cmd_profile(args)
         if args.command == "transform":
             return cmd_transform(args)
         if args.command == "sweep":

@@ -75,10 +75,12 @@ def frontier_table(records: Sequence[dict],
     for record in records:
         point = record["point"]
         values = objective_values(record, objectives)
+        wall_s = record["result"].get("wall_time_s", 0.0)
         rows.append([_program_label(point), _point_label(point),
-                     point["engine"], *values])
+                     point["engine"], *values,
+                     f"{wall_s * 1000:.1f}"])
     return format_table(
-        ["kernel", "cache", "engine", *objectives], rows,
+        ["kernel", "cache", "engine", *objectives, "ms"], rows,
         title=f"Pareto frontier (minimising {', '.join(objectives)})")
 
 

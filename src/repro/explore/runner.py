@@ -24,6 +24,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.cache.cache import Cache
 from repro.cache.config import HierarchyConfig
 from repro.cache.hierarchy import CacheHierarchy
@@ -35,9 +36,12 @@ from repro.explore.store import (
     ResultStore,
     make_record,
 )
+from repro.obs.log import get_logger
 from repro.simulation.result import SimulationResult
 
 ProgressFn = Callable[[dict], None]
+
+_LOG = get_logger("repro.explore.runner")
 
 
 def in_daemon_worker() -> bool:
@@ -204,6 +208,28 @@ def simulate_point(point: SweepPoint,
     return run_engine(scop, config, point.engine, memo=memo)
 
 
+_MEMO_STAT_KEYS = ("pattern_hits", "pattern_misses",
+                   "value_hits", "value_misses")
+
+
+def _memo_stats() -> dict:
+    from repro.perf.memo import global_memo
+
+    return global_memo().stats.to_dict()
+
+
+def _memo_delta(before: dict) -> dict:
+    """Warp-memo reuse attributable to the point just simulated.
+
+    Delta of this process's global memo counters — zero for sharded
+    points whose shards ran in pool workers (their reuse shows up in
+    the point's ``memo.*`` counters instead).
+    """
+    after = _memo_stats()
+    return {key: after[key] - before.get(key, 0)
+            for key in _MEMO_STAT_KEYS}
+
+
 class _PointTimeout(Exception):
     pass
 
@@ -277,10 +303,23 @@ def _run_point_guarded(point: SweepPoint,
                 # main interpreter; degrade to best-effort (no
                 # deadline) as documented instead of erroring out.
                 use_alarm = False
-        result = simulate_point(point, workers=workers)
+        memo_before = _memo_stats()
+        # Every point is profiled with its own tracer: the per-point
+        # phase/counter breakdown rides along in the store record (the
+        # content key hashes only the point itself, so old stores still
+        # resume).  An enclosing tracer — e.g. `repro sweep --profile`
+        # running inline — receives the aggregates via merge.
+        parent = obs.current()
+        with obs.collect() as tracer:
+            result = simulate_point(point, workers=workers)
+        if parent is not None:
+            parent.merge_snapshot(tracer.snapshot())
         if use_alarm:
             _disarm_alarm()
         payload = result_payload(result)
+        payload["phases"] = tracer.phase_totals()
+        payload["counters"] = dict(sorted(tracer.counters.items()))
+        payload["memo"] = _memo_delta(memo_before)
         return make_record(point, STATUS_OK, result=payload)
     except _PointTimeout:
         _disarm_alarm()
@@ -376,14 +415,24 @@ def run_sweep(sweep: Union[SweepSpec, SweepUnion, Sequence[SweepPoint]],
     def consume(record: dict) -> None:
         by_key[record["key"]] = record
         outcome.computed += 1
-        if record.get("status") != STATUS_OK:
+        status = record.get("status")
+        if status != STATUS_OK:
             outcome.errors += 1
+            _LOG.warning("sweep point %s: %s (%s)",
+                         record.get("key", "?")[:12], status,
+                         record.get("error", "no detail"))
+        else:
+            _LOG.debug("sweep point %s ok (%s/%s computed)",
+                       record.get("key", "?")[:12],
+                       outcome.computed, len(pending))
         if store is not None:
             store.put(record)
         if progress is not None:
             progress(record)
 
     if pending:
+        _LOG.debug("sweep: %d points pending (%d loaded, %d workers)",
+                   len(pending), outcome.loaded, workers)
         tasks = [(point.to_dict(), timeout, point_workers)
                  for point in pending]
         map_parallel(_run_point_task, tasks, workers, consume)

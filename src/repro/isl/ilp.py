@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.isl.affine import LinExpr
 
 
@@ -107,6 +108,7 @@ class IlpProblem:
     def solve_lp(self, objective: LinExpr,
                  minimize: bool = True) -> IlpResult:
         """Solve the LP relaxation exactly."""
+        obs.count("ilp.lp_solves")
         for dim in objective.dims():
             self.add_var(dim)
         form = self._to_standard_form(objective if minimize else -objective)
@@ -120,6 +122,12 @@ class IlpProblem:
     def solve_ilp(self, objective: LinExpr, minimize: bool = True,
                   max_nodes: int = 200_000) -> IlpResult:
         """Solve for integer variables via branch-and-bound."""
+        obs.count("ilp.solves")
+        with obs.span("isl.ilp"):
+            return self._solve_ilp(objective, minimize, max_nodes)
+
+    def _solve_ilp(self, objective: LinExpr, minimize: bool,
+                   max_nodes: int) -> IlpResult:
         for dim in objective.dims():
             self.add_var(dim)
         sense = 1 if minimize else -1
@@ -127,44 +135,48 @@ class IlpProblem:
         # stack of extra >=0 constraints describing each subproblem
         stack: List[List[LinExpr]] = [[]]
         nodes = 0
-        while stack:
-            nodes += 1
-            if nodes > max_nodes:
-                raise BranchLimitExceeded(
-                    f"branch-and-bound exceeded {max_nodes} nodes; "
-                    "is the problem bounded?"
-                )
-            extra = stack.pop()
-            sub = self._with_extra(extra)
-            relax = sub.solve_lp(objective * sense, minimize=True)
-            if relax.status is IlpStatus.INFEASIBLE:
-                continue
-            if relax.status is IlpStatus.UNBOUNDED:
-                # The relaxation is unbounded.  If an integer point exists the
-                # ILP itself is unbounded in the objective direction; since all
-                # uses in this project are bounded, report it faithfully.
-                feas = self._find_integer_point(sub, max_nodes - nodes)
-                if feas is None:
+        try:
+            while stack:
+                nodes += 1
+                if nodes > max_nodes:
+                    raise BranchLimitExceeded(
+                        f"branch-and-bound exceeded {max_nodes} nodes; "
+                        "is the problem bounded?"
+                    )
+                extra = stack.pop()
+                sub = self._with_extra(extra)
+                relax = sub.solve_lp(objective * sense, minimize=True)
+                if relax.status is IlpStatus.INFEASIBLE:
                     continue
-                return IlpResult(IlpStatus.UNBOUNDED)
-            if best is not None and relax.objective >= best.objective * sense:
-                continue  # bound: cannot improve on incumbent
-            frac_dim = _first_fractional(relax.assignment, self._vars)
-            if frac_dim is None:
-                value = objective.evaluate(relax.assignment)
-                candidate = IlpResult(
-                    IlpStatus.OPTIMAL, Fraction(value),
-                    {d: Fraction(v) for d, v in relax.assignment.items()},
-                )
-                if best is None or sense * candidate.objective < sense * best.objective:
-                    best = candidate
-                continue
-            split_value = relax.assignment[frac_dim]
-            floor_v = split_value.numerator // split_value.denominator
-            # x <= floor(v)  ->  floor(v) - x >= 0
-            stack.append(extra + [LinExpr({frac_dim: -1}, floor_v)])
-            # x >= floor(v)+1  ->  x - floor(v) - 1 >= 0
-            stack.append(extra + [LinExpr({frac_dim: 1}, -(floor_v + 1))])
+                if relax.status is IlpStatus.UNBOUNDED:
+                    # The relaxation is unbounded.  If an integer point
+                    # exists the ILP itself is unbounded in the objective
+                    # direction; since all uses in this project are
+                    # bounded, report it faithfully.
+                    feas = self._find_integer_point(sub, max_nodes - nodes)
+                    if feas is None:
+                        continue
+                    return IlpResult(IlpStatus.UNBOUNDED)
+                if best is not None and relax.objective >= best.objective * sense:
+                    continue  # bound: cannot improve on incumbent
+                frac_dim = _first_fractional(relax.assignment, self._vars)
+                if frac_dim is None:
+                    value = objective.evaluate(relax.assignment)
+                    candidate = IlpResult(
+                        IlpStatus.OPTIMAL, Fraction(value),
+                        {d: Fraction(v) for d, v in relax.assignment.items()},
+                    )
+                    if best is None or sense * candidate.objective < sense * best.objective:
+                        best = candidate
+                    continue
+                split_value = relax.assignment[frac_dim]
+                floor_v = split_value.numerator // split_value.denominator
+                # x <= floor(v)  ->  floor(v) - x >= 0
+                stack.append(extra + [LinExpr({frac_dim: -1}, floor_v)])
+                # x >= floor(v)+1  ->  x - floor(v) - 1 >= 0
+                stack.append(extra + [LinExpr({frac_dim: 1}, -(floor_v + 1))])
+        finally:
+            obs.count("ilp.bnb_nodes", nodes)
         if best is None:
             return IlpResult(IlpStatus.INFEASIBLE)
         return best
@@ -373,6 +385,7 @@ def _iterate(tableau, basis, obj, num_cols) -> IlpStatus:
 
 def _pivot(tableau, basis, row: int, col: int) -> None:
     """Pivot the tableau so that ``col`` becomes basic in ``row``."""
+    obs.count("ilp.pivots")
     pivot_row = tableau[row]
     pivot_val = pivot_row[col]
     inv = Fraction(1) / pivot_val

@@ -20,9 +20,11 @@ be pushed through the quantifier.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.isl.affine import LinExpr
 from repro.isl.ilp import IlpProblem, IlpStatus
 
@@ -31,6 +33,29 @@ _fresh_counter = itertools.count()
 
 def _fresh_name(prefix: str) -> str:
     return f"${prefix}{next(_fresh_counter)}"
+
+
+def _decision_procedure(func):
+    """Count and time a BasicSet decision procedure under ``isl.sets``.
+
+    Only the :class:`BasicSet` entry points are wrapped (not the
+    :class:`Set` union layer, which delegates to them) so each decision
+    is counted exactly once.  With no active tracer the wrapper is a
+    single global read plus the delegated call.
+    """
+    op_counter = "isl.op." + func.__name__
+
+    @functools.wraps(func)
+    def wrapper(self, *args, **kwargs):
+        tracer = obs.current()
+        if tracer is None:
+            return func(self, *args, **kwargs)
+        tracer.count("isl.set_ops")
+        tracer.count(op_counter)
+        with tracer.span("isl.sets"):
+            return func(self, *args, **kwargs)
+
+    return wrapper
 
 
 class BasicSet:
@@ -162,10 +187,12 @@ class BasicSet:
 
     # -- queries ----------------------------------------------------------------------
 
+    @_decision_procedure
     def is_empty(self) -> bool:
         """True if the set contains no integer point."""
         return not self._to_ilp().is_feasible()
 
+    @_decision_procedure
     def sample(self) -> Optional[Tuple[int, ...]]:
         """Some point of the set (visible dims only), or None."""
         point = self._to_ilp().find_point()
@@ -196,15 +223,22 @@ class BasicSet:
                     return False
             return True
         # General existentials (or divs referencing them): fall back to ILP.
-        ilp = self._to_ilp()
-        for dim, value in zip(self.dims, point):
-            ilp.add_eq0(LinExpr.var(dim) - value)
-        return ilp.is_feasible()
+        # (Only this slow path counts as a set op: the evaluation fast
+        # path above runs per simulated access and must stay unwrapped.)
+        obs.count("isl.set_ops")
+        obs.count("isl.op.contains")
+        with obs.span("isl.sets"):
+            ilp = self._to_ilp()
+            for dim, value in zip(self.dims, point):
+                ilp.add_eq0(LinExpr.var(dim) - value)
+            return ilp.is_feasible()
 
+    @_decision_procedure
     def lexmin(self) -> Optional[Tuple[int, ...]]:
         """Lexicographically smallest point, or None if empty."""
         return self._lexopt(minimize=True)
 
+    @_decision_procedure
     def lexmax(self) -> Optional[Tuple[int, ...]]:
         """Lexicographically largest point, or None if empty."""
         return self._lexopt(minimize=False)
@@ -225,6 +259,7 @@ class BasicSet:
             fixed.append(value)
         return tuple(fixed)
 
+    @_decision_procedure
     def min_of(self, expr: LinExpr) -> Optional[int]:
         """Exact integer minimum of ``expr`` over the set (None if empty)."""
         result = self._to_ilp().solve_ilp(expr, minimize=True)
@@ -234,6 +269,7 @@ class BasicSet:
             raise ValueError("minimum unbounded")
         return int(result.objective)
 
+    @_decision_procedure
     def max_of(self, expr: LinExpr) -> Optional[int]:
         """Exact integer maximum of ``expr`` over the set (None if empty)."""
         result = self._to_ilp().solve_ilp(expr, minimize=False)

@@ -1,0 +1,65 @@
+"""Logging setup for the ``repro`` package.
+
+All diagnostic output (sweep progress, dropped points, interrupt
+notices, ...) goes through the module-level ``logging.getLogger("repro")``
+hierarchy instead of bare ``print``.  Diagnostics land on **stderr**,
+keeping stdout clean for ``--json`` consumers and report tables.
+
+The CLI maps ``-v``/``-q`` flags to a verbosity integer and calls
+:func:`configure`:
+
+===========  ==========  ===================================
+flags        verbosity   level
+===========  ==========  ===================================
+``-qq``      -2          only errors
+``-q``       -1          warnings and up
+(default)    0           progress messages (INFO) and up
+``-v``       1           DEBUG (per-point/per-shard detail)
+===========  ==========  ===================================
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Root logger of the package; modules take children via
+#: ``get_logger(__name__)``.
+logger = logging.getLogger("repro")
+
+_HANDLER: Optional[logging.Handler] = None
+
+_LEVELS = {-2: logging.ERROR, -1: logging.WARNING,
+           0: logging.INFO, 1: logging.DEBUG}
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Logger under the ``repro`` hierarchy for module ``name``."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logger.getChild(name)
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install a stderr handler on the ``repro`` logger.
+
+    ``verbosity`` follows the CLI convention above (clamped to the
+    known range).  Idempotent: reconfiguring replaces the handler
+    installed by a previous call rather than stacking a duplicate.
+    """
+    global _HANDLER
+    level = _LEVELS[max(-2, min(1, verbosity))]
+    handler = logging.StreamHandler(stream or sys.stderr)
+    if level <= logging.DEBUG:
+        fmt = "%(name)s: %(levelname)s: %(message)s"
+    else:
+        fmt = "%(message)s"
+    handler.setFormatter(logging.Formatter(fmt))
+    if _HANDLER is not None:
+        logger.removeHandler(_HANDLER)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    _HANDLER = handler
+    return logger

@@ -1,0 +1,121 @@
+"""Rendering profiled runs: phase tables, Chrome traces, flamegraphs.
+
+Pure presentation over :class:`repro.obs.tracer.Tracer` aggregates —
+no instrumentation lives here.  Used by ``repro profile`` and the
+``--profile`` flags on ``simulate``/``compare``/``sweep``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..analysis.report import format_table
+from .tracer import Tracer
+
+
+def phase_table(tracer: Tracer, title: str = "phase attribution",
+                wall_s: Optional[float] = None) -> str:
+    """Aligned per-phase attribution table.
+
+    One row per span path in tree order, indented by nesting depth,
+    with total/self milliseconds, invocation count, and the share of
+    overall profiled time (``wall_s`` when given, else the sum of
+    root-level spans).
+    """
+    denominator = wall_s if wall_s else tracer.top_level_time()
+    rows = []
+    for path in sorted(tracer.stats):
+        stats = tracer.stats[path]
+        indent = "  " * (len(path) - 1)
+        share = (100.0 * stats.total_s / denominator
+                 if denominator > 0 else 0.0)
+        rows.append([
+            indent + path[-1],
+            f"{stats.total_s * 1000:.2f}",
+            f"{stats.self_s * 1000:.2f}",
+            stats.count,
+            f"{share:.1f}%",
+        ])
+    if not rows:
+        return f"{title}\n(no spans recorded)"
+    return format_table(
+        ["phase", "total ms", "self ms", "calls", "share"],
+        rows, title=title)
+
+
+def counter_table(tracer: Tracer, title: str = "counters") -> str:
+    """Aligned table of all counters, sorted by name."""
+    rows = [[name, value]
+            for name, value in sorted(tracer.counters.items())]
+    if not rows:
+        return f"{title}\n(no counters recorded)"
+    return format_table(["counter", "value"], rows, title=title)
+
+
+def render_profile(tracer: Tracer, title: str = "phase attribution",
+                   wall_s: Optional[float] = None) -> str:
+    """Phase table plus counter table (the default CLI output)."""
+    parts = [phase_table(tracer, title=title, wall_s=wall_s)]
+    if tracer.counters:
+        parts.append(counter_table(tracer))
+    return "\n\n".join(parts)
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> dict:
+    """Serialise the tracer's events as Chrome trace JSON at ``path``."""
+    trace = tracer.to_chrome_trace()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")
+    return trace
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Check the Chrome trace-event shape; raises ``ValueError``.
+
+    Dependency-free validation in the style of
+    :func:`repro.perf.schema.validate_bench`: the contract the CI
+    profile-smoke step holds ``repro profile --trace-out`` to.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError("trace: expected an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace.traceEvents: expected a list")
+    for index, event in enumerate(events):
+        where = f"trace.traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: expected an object")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where}.name: expected a non-empty string")
+        if event.get("ph") != "X":
+            raise ValueError(f"{where}.ph: expected complete event 'X'")
+        for field in ("ts", "dur"):
+            value = event.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"{where}.{field}: expected a non-negative number")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError(f"{where}.{field}: expected an integer")
+
+
+def phases_payload(tracer: Tracer, wall_s: float, kernel: str,
+                   engine: str) -> Dict[str, object]:
+    """One entry for a bench payload's optional ``phases`` section.
+
+    ``attributed_s`` sums the root-level spans (what the CI smoke
+    asserts covers ``wall_s`` to within 5%); ``spans`` carries the full
+    per-path aggregate tree; ``counters`` the raw counter dict.
+    """
+    attributed = tracer.top_level_time()
+    return {
+        "kernel": kernel,
+        "engine": engine,
+        "wall_s": round(wall_s, 6),
+        "attributed_s": round(attributed, 6),
+        "coverage": round(attributed / wall_s, 4) if wall_s > 0 else 0.0,
+        "spans": tracer.phase_totals(),
+        "counters": dict(sorted(tracer.counters.items())),
+    }

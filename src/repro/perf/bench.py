@@ -21,7 +21,10 @@ Measured per kernel:
 * the warping engine's speedup over the concrete baseline,
 
 plus one memoization scenario: a mini-sweep over L1 capacities with a
-cold vs a warm :class:`~repro.perf.memo.WarpMemo`.
+cold vs a warm :class:`~repro.perf.memo.WarpMemo`, and one *profiled*
+warping run per kernel whose span breakdown lands in the payload's
+``phases`` section (see :func:`repro.obs.profile.phases_payload`) —
+the timed scenarios themselves always run with tracing disabled.
 """
 
 from __future__ import annotations
@@ -33,7 +36,9 @@ import platform
 import time
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.cache.cache import Cache
+from repro.obs.profile import phases_payload
 from repro.perf.memo import WarpMemo
 from repro.perf.schema import SCHEMA_NAME, validate_bench
 from repro.perf.sharding import shard_simulate
@@ -127,6 +132,7 @@ def run_bench(workers: int = 4, shards: Optional[int] = None,
     shards = shards or workers
     config = scaled_l1()
     scenarios: List[dict] = []
+    phases: List[dict] = []
     tree_speedups: List[float] = []
     warp_speedups: List[float] = []
 
@@ -197,6 +203,15 @@ def run_bench(workers: int = 4, shards: Optional[int] = None,
             "speedup_vs_sequential": round(seq_s / max(warp_s, 1e-9), 3),
         })
 
+        # One separately profiled run per kernel (the timed runs above
+        # stay untraced so tracing overhead never taints the numbers):
+        # the CI smoke asserts attributed_s covers wall_s within 5%.
+        with obs.collect() as tracer:
+            _, prof_s = _timed(
+                lambda: simulate_warping(scop, config), 1)
+        phases.append(phases_payload(tracer, prof_s, kernel=kernel,
+                                     engine="warping"))
+
     payload = {
         "schema": SCHEMA_NAME,
         "pr": pr,
@@ -207,6 +222,7 @@ def run_bench(workers: int = 4, shards: Optional[int] = None,
         "shards": shards,
         "machine": _machine_info(),
         "scenarios": scenarios,
+        "phases": phases,
         "summary": {
             "sharded_tree_speedup_min": round(min(tree_speedups), 3),
             "sharded_tree_speedup_geomean": round(
@@ -257,4 +273,9 @@ def bench_summary(payload: dict) -> str:
     lines.append(
         f"  warp memo: cold {memo['cold_s']:.3f}s -> warm "
         f"{memo['warm_s']:.3f}s ({memo['speedup']:.2f}x)")
+    if payload.get("phases"):
+        lines.append(
+            "  phase coverage (warping): " + ", ".join(
+                f"{entry['kernel']} {entry['coverage']:.2f}"
+                for entry in payload["phases"]))
     return "\n".join(lines)

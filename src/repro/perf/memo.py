@@ -31,6 +31,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
+from repro import obs
 from repro.cache.config import CacheConfig, HierarchyConfig
 from repro.perf.signature import scop_signature
 
@@ -75,16 +76,20 @@ class _ScopeDict(dict):
         found = dict.__contains__(self, key)
         if found:
             self._stats.value_hits += 1
+            obs.count("memo.value_hits")
         else:
             self._stats.value_misses += 1
+            obs.count("memo.value_misses")
         return found
 
     def get(self, key, default=None):
         value = dict.get(self, key, _MISSING)
         if value is _MISSING:
             self._stats.value_misses += 1
+            obs.count("memo.value_misses")
             return default
         self._stats.value_hits += 1
+        obs.count("memo.value_hits")
         return value
 
 
@@ -172,6 +177,7 @@ class WarpMemo:
         pattern = self._patterns.get(key)
         if pattern is None:
             self.stats.pattern_misses += 1
+            obs.count("memo.pattern_misses")
             while len(self._patterns) >= self.max_patterns:
                 _, evicted = self._patterns.popitem(last=False)
                 self.stats.scopes -= len(evicted.scopes)
@@ -180,6 +186,7 @@ class WarpMemo:
             self._patterns[key] = pattern
         else:
             self.stats.pattern_hits += 1
+            obs.count("memo.pattern_hits")
             self._patterns.move_to_end(key)
         return _SimulationMemo(self, pattern)
 

@@ -19,6 +19,11 @@ Speedup semantics (recorded per sharded scenario):
   wall time of the sharded run on the measuring machine (pool spawn
   and time-sharing included).  ``machine.cpu_count`` says how much
   concurrency that machine could express.
+
+Since PR 5 payloads also carry an optional top-level ``phases`` list —
+one span/counter breakdown per profiled warping run (see
+:func:`repro.obs.profile.phases_payload`); files from earlier PRs
+remain valid without it.
 """
 
 from __future__ import annotations
@@ -57,6 +62,18 @@ _SUMMARY_KEYS = {
     "sharded_tree_speedup_min": (int, float),
     "sharded_tree_speedup_geomean": (int, float),
     "warping_speedup_geomean": (int, float),
+}
+
+# Optional since PR 5 (files from earlier PRs predate it): one entry
+# per profiled warping run, see repro.obs.profile.phases_payload.
+_PHASE_KEYS = {
+    "kernel": str,
+    "engine": str,
+    "wall_s": (int, float),
+    "attributed_s": (int, float),
+    "coverage": (int, float),
+    "spans": dict,
+    "counters": dict,
 }
 
 _ENGINES = ("tree", "warping")
@@ -125,6 +142,20 @@ def validate_bench(payload: dict) -> List[dict]:
             if len(scenario["shard_cpu_s"]) != scenario["shards"]:
                 raise BenchSchemaError(
                     f"{where}.shard_cpu_s: expected one entry per shard")
+    phases = payload.get("phases")
+    if phases is not None:
+        if not isinstance(phases, list):
+            raise BenchSchemaError("bench.phases: expected a list")
+        for index, entry in enumerate(phases):
+            where = f"bench.phases[{index}]"
+            if not isinstance(entry, dict):
+                raise BenchSchemaError(f"{where}: must be an object")
+            for key, types in _PHASE_KEYS.items():
+                _require(entry, key, types, where)
+            for name, stats in entry["spans"].items():
+                if not isinstance(stats, dict):
+                    raise BenchSchemaError(
+                        f"{where}.spans[{name!r}]: must be an object")
     summary = _require(payload, "summary", dict, "bench")
     for key, types in _SUMMARY_KEYS.items():
         _require(summary, key, types, "bench.summary")

@@ -36,6 +36,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.cache.cache import Cache
 from repro.cache.config import (
     CacheConfig,
@@ -174,45 +175,63 @@ def _run_shard(task: dict) -> dict:
     residue: int = task["residue"]
     engine: str = task["engine"]
     sharded = shard_target_config(config, modulus, residue)
-    wall0 = time.perf_counter()
-    cpu0 = time.process_time()
-    if engine == "warping":
-        from repro.perf.memo import global_memo
-        from repro.simulation.warping import simulate_warping
+    # Pool workers do not inherit the parent's tracer: when the parent
+    # was profiling ("profile" in the task), collect locally and ship
+    # an aggregate snapshot home in the record.  Inline execution
+    # (workers=1) sees the parent tracer directly and nests as usual.
+    local = None
+    if task.get("profile") and not obs.is_enabled():
+        local = obs.enable()
+    try:
+        cpu0 = time.process_time()
+        with obs.Stopwatch(f"shard[{residue}]") as watch:
+            if engine == "warping":
+                from repro.perf.memo import global_memo
+                from repro.simulation.warping import simulate_warping
 
-        # Memoised analyses are full-block-space facts, so shards share
-        # memo entries with each other and with unsharded runs; each
-        # (pool worker) process accumulates reuse across the shards and
-        # points it serves.
-        memo = global_memo().for_simulation(scop, sharded)
-        result = simulate_warping(scop, sharded,
-                                  enable_warping=task["enable_warping"],
-                                  memo=memo)
-        record = {
-            "levels": [(s.name, s.hits, s.misses) for s in result.levels],
-            "accesses": result.accesses,
-            "explicit_accesses": result.simulated_accesses,
-            "warp_count": result.warp_count,
-            "warp_attempts": result.warp_attempts,
-        }
-    else:
-        target = (CacheHierarchy(sharded)
-                  if isinstance(sharded, HierarchyConfig)
-                  else Cache(sharded))
-        runner = _ShardTreeRunner(scop, target, modulus, residue)
-        runner.run(scop)
-        caches = (target.levels if isinstance(target, CacheHierarchy)
-                  else [target])
-        record = {
-            "levels": [(c.config.name, c.hits, c.misses) for c in caches],
-            "accesses": runner.accesses,
-            "explicit_accesses": runner.accesses,
-            "warp_count": 0,
-            "warp_attempts": 0,
-        }
+                # Memoised analyses are full-block-space facts, so
+                # shards share memo entries with each other and with
+                # unsharded runs; each (pool worker) process accumulates
+                # reuse across the shards and points it serves.
+                memo = global_memo().for_simulation(scop, sharded)
+                result = simulate_warping(
+                    scop, sharded,
+                    enable_warping=task["enable_warping"],
+                    memo=memo)
+                record = {
+                    "levels": [(s.name, s.hits, s.misses)
+                               for s in result.levels],
+                    "accesses": result.accesses,
+                    "explicit_accesses": result.simulated_accesses,
+                    "warp_count": result.warp_count,
+                    "warp_attempts": result.warp_attempts,
+                }
+            else:
+                target = (CacheHierarchy(sharded)
+                          if isinstance(sharded, HierarchyConfig)
+                          else Cache(sharded))
+                runner = _ShardTreeRunner(scop, target, modulus, residue)
+                runner.run(scop)
+                caches = (target.levels
+                          if isinstance(target, CacheHierarchy)
+                          else [target])
+                record = {
+                    "levels": [(c.config.name, c.hits, c.misses)
+                               for c in caches],
+                    "accesses": runner.accesses,
+                    "explicit_accesses": runner.accesses,
+                    "warp_count": 0,
+                    "warp_attempts": 0,
+                }
+        cpu_s = time.process_time() - cpu0
+    finally:
+        if local is not None:
+            obs.disable()
     record["shard"] = residue
-    record["cpu_s"] = time.process_time() - cpu0
-    record["wall_s"] = time.perf_counter() - wall0
+    record["cpu_s"] = cpu_s
+    record["wall_s"] = watch.elapsed
+    if local is not None:
+        record["obs"] = local.snapshot()
     return record
 
 
@@ -258,7 +277,6 @@ def shard_simulate(scop: Scop, config: TargetConfig,
             f"use one of {SHARDABLE_ENGINES}")
     requested = shards if shards is not None else (workers or 1)
     k = shardable_ways(config, requested)
-    start = time.perf_counter()
     if k == 1:
         from repro.explore.runner import run_engine
 
@@ -271,18 +289,29 @@ def shard_simulate(scop: Scop, config: TargetConfig,
     tasks = [
         {"scop": scop, "config": config, "engine": engine,
          "modulus": k, "residue": residue,
-         "enable_warping": enable_warping}
+         "enable_warping": enable_warping,
+         "profile": obs.is_enabled()}
         for residue in range(k)
     ]
     records: Dict[int, dict] = {}
     pool_workers = k if workers is None else workers
-    map_parallel(_run_shard_task, tasks, pool_workers,
-                 lambda record: records.__setitem__(record["shard"],
-                                                    record))
-    failed = [r for r in records.values() if "error" in r]
-    if failed:
-        raise RuntimeError(
-            f"shard simulation failed: {failed[0]['error']}")
+    with obs.Stopwatch("shard.simulate") as watch:
+        map_parallel(_run_shard_task, tasks, pool_workers,
+                     lambda record: records.__setitem__(record["shard"],
+                                                        record))
+        failed = [r for r in records.values() if "error" in r]
+        if failed:
+            raise RuntimeError(
+                f"shard simulation failed: {failed[0]['error']}")
+        # Worker snapshots graft their shard[r] spans under this span.
+        # Shards run concurrently, so their summed time exceeds the
+        # span's wall time by design (see Tracer.merge_snapshot).
+        tracer = obs.current()
+        if tracer is not None:
+            for record in records.values():
+                snapshot = record.pop("obs", None)
+                if snapshot:
+                    tracer.merge_snapshot(snapshot)
 
     ordered = [records[residue] for residue in range(k)]
     depth = len(ordered[0]["levels"])
@@ -296,7 +325,7 @@ def shard_simulate(scop: Scop, config: TargetConfig,
     result = SimulationResult(
         scop_name=scop.name,
         levels=levels,
-        wall_time=time.perf_counter() - start,
+        wall_time=watch.elapsed,
     )
     result.accesses = sum(r["accesses"] for r in ordered)
     result.simulated_accesses = sum(r["explicit_accesses"]

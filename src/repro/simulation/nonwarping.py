@@ -8,9 +8,9 @@ baseline that warping accelerates.
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Tuple, Union
 
+from repro import obs
 from repro.cache.cache import Cache
 from repro.cache.config import WritePolicy
 from repro.cache.hierarchy import CacheHierarchy
@@ -41,13 +41,15 @@ def simulate(scop: Scop, target: Target,
     caches = (target.levels if isinstance(target, CacheHierarchy)
               else [target])
     base = [(cache.hits, cache.misses) for cache in caches]
-    start = time.perf_counter()
-    runner = _Runner(scop, target)
-    for root in scop.roots:
-        runner.run_node(root, ())
-    elapsed = time.perf_counter() - start
+    # The per-access loop is deliberately uninstrumented: the whole run
+    # is one span, so the disabled-profiling path pays nothing extra.
+    with obs.Stopwatch("engine.tree") as watch:
+        runner = _Runner(scop, target)
+        for root in scop.roots:
+            runner.run_node(root, ())
+    obs.count("tree.accesses", runner.accesses)
 
-    result = SimulationResult(scop_name=scop.name, wall_time=elapsed)
+    result = SimulationResult(scop_name=scop.name, wall_time=watch.elapsed)
     result.accesses = runner.accesses
     result.simulated_accesses = runner.accesses
     result.levels = [

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.cache.config import (
     CacheConfig,
     HierarchyConfig,
@@ -248,6 +249,7 @@ class SymbolicCache:
         produce the same key; the rotation offset is recovered from the
         difference of the two states' ``mru_set`` values.
         """
+        obs.count("sym.snapshot_keys")
         num_sets = self.config.num_sets
         per_set = tuple(
             self.sets[(self.mru_set + k) % num_sets].rel_key(depth, current)
@@ -266,6 +268,7 @@ class SymbolicCache:
         increment of the warping loop (padded/truncated per symbol as
         needed), ``count`` the number of applications (n in Theorem 4).
         """
+        obs.count("sym.rotations")
         num_sets = self.config.num_sets
         total_rot = (rotation * count) % num_sets
         shift_blocks_cache: dict = {}

@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.cache.config import CacheConfig, HierarchyConfig
 from repro.isl.affine import LinExpr
 from repro.isl.sets import BasicSet
@@ -106,13 +107,14 @@ def simulate_warping(scop: Scop, config: TargetConfig,
         target = SymbolicHierarchy(config)
     else:
         target = SingleLevel(config)
-    runner = _WarpingRunner(scop, target, enable_warping, memo=memo)
-    start = time.perf_counter()
-    for root in scop.roots:
-        runner.run_node(root, ())
-    elapsed = time.perf_counter() - start
+    span_name = "engine.warping" if enable_warping else "engine.symbolic"
+    with obs.Stopwatch(span_name) as watch:
+        runner = _WarpingRunner(scop, target, enable_warping, memo=memo)
+        for root in scop.roots:
+            runner.run_node(root, ())
 
-    result = SimulationResult(scop_name=scop.name, wall_time=elapsed)
+    result = SimulationResult(scop_name=scop.name,
+                              wall_time=watch.elapsed)
     result.accesses = runner.accesses
     result.simulated_accesses = runner.explicit_accesses
     result.warped_accesses = runner.accesses - runner.explicit_accesses
@@ -204,6 +206,12 @@ class _WarpingRunner:
             id(loop): index
             for index, loop in enumerate(scop.loop_nodes())
         }
+        # Profiling hooks are bound at construction time: with no active
+        # tracer, the per-access and per-iteration hot paths carry zero
+        # instrumentation (``self._tracer is None`` branches only).
+        self._tracer = obs.current()
+        if self._tracer is not None:
+            self.run_access = self._run_access_traced
 
     def _analysis_scope(self, loop: LoopNode,
                         prefix: Tuple[int, ...]) -> Dict:
@@ -242,6 +250,15 @@ class _WarpingRunner:
         # inclusive / exclusive descent, victim flow, invalidations).
         self.target.access(block, sym, node.is_write)
 
+    def _run_access_traced(self, node: AccessNode,
+                           point: Tuple[int, ...]) -> None:
+        """run_access with symbolic-update time attribution (profiling
+        builds only; bound over ``run_access`` in ``__init__``)."""
+        start = time.perf_counter()
+        _WarpingRunner.run_access(self, node, point)
+        self._tracer.add_time("sym.access",
+                              time.perf_counter() - start)
+
     def run_loop(self, loop: LoopNode, prefix: Tuple[int, ...]) -> None:
         """LoopNode::WarpingSimulate."""
         bounds = loop.bounds_at(prefix)
@@ -261,49 +278,111 @@ class _WarpingRunner:
         # (memo-backed and persistent across runs when a memo is set).
         analysis_cache: Dict = self._analysis_scope(loop, prefix)
         fail_streak = 0
+        tracer = self._tracer
+        leaf_body = tracer is not None and all(
+            isinstance(child, AccessNode) for child in children)
         value = lo
         while value <= hi:
+            if leaf_body and not matching:
+                # Profiling, innermost loop, match detection off: the
+                # rest of this execution is pure symbolic access work —
+                # drain it under one timed window so the probe cost and
+                # the loop machinery are attributed, not self time.
+                t0 = time.perf_counter()
+                n_calls = 0
+                run_access = _WarpingRunner.run_access
+                while value <= hi:
+                    point = prefix + (value,)
+                    if not check_domain or loop.in_domain(point):
+                        for child in children:
+                            run_access(self, child, point)
+                        n_calls += len(children)
+                    value += stride
+                tracer.add_time("sym.access",
+                                time.perf_counter() - t0, n_calls)
+                break
             point = prefix + (value,)
             if check_domain and not loop.in_domain(point):
                 value += stride
                 continue
             warped = False
             if matching:
-                key = tuple(
-                    level.snapshot_key(depth, point) for level in self.levels
-                )
-                entry = history.get(key)
-                if entry is not None:
-                    had_match = True
-                    i0, counters0, acc0 = entry
-                    delta = value - i0
-                    if delta > 0:
-                        self.warp_attempts += 1
-                        warped = self._try_warp(
-                            loop, prefix, i0, value, hi, delta,
-                            counters0, acc0, analysis_cache,
-                        )
-                        if warped:
-                            value = value + delta * self._last_n
-                            point = prefix + (value,)
-                            fail_streak = 0
-                        else:
-                            fail_streak += 1
-                            if fail_streak >= self.max_fail_streak:
-                                # Warping demonstrably not applicable in
-                                # this loop execution; stop paying for
-                                # match detection (sound: warping is an
-                                # acceleration, never required).
-                                matching = False
-                counters = tuple((lvl.hits, lvl.misses)
-                                 for lvl in self.levels)
-                history[key] = (value, counters, self.accesses)
+                # The whole match-detection block (state keys, history
+                # lookup/update) is one warp.bookkeeping span when
+                # profiling; warp.analysis nests inside it.
+                bookkeeping = (tracer.span("warp.bookkeeping")
+                               if tracer is not None else None)
+                if bookkeeping is not None:
+                    bookkeeping.__enter__()
+                try:
+                    key = tuple(
+                        level.snapshot_key(depth, point)
+                        for level in self.levels
+                    )
+                    entry = history.get(key)
+                    if entry is not None:
+                        had_match = True
+                        i0, counters0, acc0 = entry
+                        delta = value - i0
+                        if delta > 0:
+                            self.warp_attempts += 1
+                            if tracer is None:
+                                warped = self._try_warp(
+                                    loop, prefix, i0, value, hi, delta,
+                                    counters0, acc0, analysis_cache,
+                                )
+                            else:
+                                tracer.count("warp.attempts")
+                                with tracer.span("warp.analysis"):
+                                    warped = self._try_warp(
+                                        loop, prefix, i0, value, hi,
+                                        delta, counters0, acc0,
+                                        analysis_cache,
+                                    )
+                                if warped:
+                                    tracer.count("warp.hits")
+                            if warped:
+                                value = value + delta * self._last_n
+                                point = prefix + (value,)
+                                fail_streak = 0
+                            else:
+                                fail_streak += 1
+                                if fail_streak >= self.max_fail_streak:
+                                    # Warping demonstrably not
+                                    # applicable in this loop execution;
+                                    # stop paying for match detection
+                                    # (sound: warping is an
+                                    # acceleration, never required).
+                                    matching = False
+                    counters = tuple((lvl.hits, lvl.misses)
+                                     for lvl in self.levels)
+                    history[key] = (value, counters, self.accesses)
+                finally:
+                    if bookkeeping is not None:
+                        bookkeeping.__exit__()
             if not warped:
-                for child in children:
-                    if isinstance(child, AccessNode):
-                        self.run_access(child, point)
-                    else:
-                        self.run_loop(child, point)
+                if tracer is None:
+                    for child in children:
+                        if isinstance(child, AccessNode):
+                            self.run_access(child, point)
+                        else:
+                            self.run_loop(child, point)
+                elif leaf_body:
+                    # Innermost loop: one timed window per iteration
+                    # instead of per access, so the probe cost (two
+                    # clock reads) amortises over the whole body.
+                    t0 = time.perf_counter()
+                    for child in children:
+                        _WarpingRunner.run_access(self, child, point)
+                    tracer.add_time("sym.access",
+                                    time.perf_counter() - t0,
+                                    len(children))
+                else:
+                    for child in children:
+                        if isinstance(child, AccessNode):
+                            self._run_access_traced(child, point)
+                        else:
+                            self.run_loop(child, point)
                 value += stride
         if self.enable_warping and loop._bounds_exact and (
                 matching or had_match):
@@ -411,11 +490,13 @@ class _WarpingRunner:
         # Apply the warp (Algorithm 2, lines 10-12).
         depth = loop.depth
         delta_vec = tuple(0 for _ in range(depth - 1)) + (delta,)
-        for level, rotation, (h0, m0) in zip(self.levels, level_rotations,
-                                             counters0):
-            level.apply_rotation(rotation, delta_vec, n)
-            level.hits += n * (level.hits - h0)
-            level.misses += n * (level.misses - m0)
+        with obs.span("warp.apply"):
+            for level, rotation, (h0, m0) in zip(self.levels,
+                                                 level_rotations,
+                                                 counters0):
+                level.apply_rotation(rotation, delta_vec, n)
+                level.hits += n * (level.hits - h0)
+                level.misses += n * (level.misses - m0)
         self.accesses += n * (self.accesses - acc0)
         self.warp_count += 1
         self._last_n = n

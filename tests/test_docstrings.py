@@ -35,6 +35,12 @@ def _doctests_of(name):
     if isinstance(obj, types.FunctionType) or isinstance(obj, type):
         return [t for t in finder.find(obj, name=f"repro.{name}",
                                        module=module) if t.examples]
+    if isinstance(obj, types.ModuleType):
+        # Module exports (e.g. ``repro.obs``): the module docstring's
+        # own example is the contract.
+        finder = doctest.DocTestFinder(recurse=False)
+        return [t for t in finder.find(obj, name=f"repro.{name}")
+                if t.examples]
     return []
 
 

@@ -60,6 +60,25 @@ def test_default_transform_leaves_key_unchanged():
         "8aceff54b1c6822b4a9ca1743ccc3a1b996d4f4bf3662f0c68563f961d13ad46"
 
 
+def test_computed_record_carries_phases_but_keeps_its_key():
+    """The PR-5 observability payload (phases/counters/memo in the
+    *result* section) must never leak into the content key: keys hash
+    the point dict only, so profiled stores stay resume-compatible."""
+    from repro.explore.runner import run_point
+
+    point = SweepPoint(kernel="mvt", size={"N": 24}, l1_size=1024,
+                       l1_assoc=4, l1_policy="lru", block_size=16)
+    record = run_point(point.to_dict())
+    assert record["key"] == \
+        "4a150c132260db4177bda77c696b8db1b4c9eb8fffb9b6ecff70f6a28885d468"
+    assert record["status"] == "ok"
+    result = record["result"]
+    assert "phases" in result and "counters" in result
+    assert "memo" in result
+    # And the phase payload itself must not perturb the key either.
+    assert point.key() == record["key"]
+
+
 def test_transform_spelling_does_not_change_key():
     """Pipelines are canonicalised before hashing, so equivalent
     spellings address the same stored result."""
