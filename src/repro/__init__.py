@@ -27,16 +27,19 @@ Package map:
 * :mod:`repro.polybench` — the 30 PolyBench 4.2.1 kernels as SCoPs.
 * :mod:`repro.analysis` — metrics and report tables.
 * :mod:`repro.explore` — parallel, resumable design-space exploration
-  (sweep specs, result stores, Pareto frontiers).
+  (sweep specs, result stores, Pareto frontiers, live campaign
+  monitoring via worker heartbeats and ``repro monitor``).
 * :mod:`repro.transform` — polyhedral schedule transformations
   (tiling, interchange, reversal, fusion, distribution) with a
   composable pipeline grammar.
 * :mod:`repro.perf` — the performance layer: set-sharded parallel
   simulation, warp-interval memoization, the ``repro bench``
-  trajectory harness.
+  trajectory harness and its regression gate
+  (``repro bench --compare``).
 * :mod:`repro.obs` — observability: hierarchical span tracing, named
-  counters, phase profiling (``repro profile``), and the package-wide
-  logging setup.
+  counters, phase profiling (``repro profile``), typed metrics
+  (counters/gauges/histograms) with Prometheus and JSONL time-series
+  exporters, and the package-wide logging setup.
 
 Design-space sweeps::
 
@@ -51,6 +54,7 @@ Design-space sweeps::
 """
 
 from repro import obs
+from repro.obs import MetricRegistry, to_prometheus
 from repro.cache import (
     Cache,
     CacheConfig,
@@ -63,13 +67,19 @@ from repro.explore import (
     SweepOutcome,
     SweepPoint,
     SweepSpec,
+    campaign_status,
     engine_deltas,
     open_store,
     pareto_frontier,
     policy_sensitivity,
     run_sweep,
 )
-from repro.perf import WarpMemo, scop_signature, shard_simulate
+from repro.perf import (
+    WarpMemo,
+    compare_payloads,
+    scop_signature,
+    shard_simulate,
+)
 from repro.polybench import build_kernel, all_kernel_names
 from repro.polyhedral import ScopBuilder
 from repro.simulation import (
@@ -88,7 +98,7 @@ from repro.transform import (
 
 #: Single source of the package version: ``setup.py`` parses this
 #: assignment and the CLI exposes it as ``repro --version``.
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "obs",
@@ -98,6 +108,7 @@ __all__ = [
     "HierarchyConfig",
     "InclusionPolicy",
     "LevelStats",
+    "MetricRegistry",
     "Pipeline",
     "TransformError",
     "TransformStep",
@@ -114,8 +125,11 @@ __all__ = [
     "shard_simulate",
     "simulate_nonwarping",
     "simulate_warping",
+    "to_prometheus",
     "build_kernel",
     "all_kernel_names",
+    "campaign_status",
+    "compare_payloads",
     "engine_deltas",
     "open_store",
     "pareto_frontier",

@@ -37,6 +37,10 @@ design-space exploration engine of :mod:`repro.explore`:
 
     python -m repro frontier --store campaign.jsonl
 
+    python -m repro monitor campaign.jsonl --once
+
+    python -m repro bench --quick --compare BENCH_PR4.json
+
     python -m repro list-kernels --json
 """
 
@@ -194,6 +198,31 @@ def build_parser() -> argparse.ArgumentParser:
                                "instead of the frontier")
     frontier.add_argument("--json", action="store_true")
 
+    monitor = sub.add_parser(
+        "monitor", help="watch a sweep campaign live: progress, ETA, "
+                        "per-worker heartbeats, stragglers, failures "
+                        "(needs a sweep running with --heartbeat or "
+                        "--live)")
+    monitor.add_argument("store", nargs="?", default=DEFAULT_STORE,
+                         help=f"result store path (default "
+                              f"{DEFAULT_STORE})")
+    monitor.add_argument("--once", action="store_true",
+                         help="print one snapshot and exit instead of "
+                              "following until the campaign completes")
+    monitor.add_argument("--interval", type=float, default=2.0,
+                         help="refresh interval in seconds (default 2)")
+    monitor.add_argument("--export-prom", metavar="FILE", default=None,
+                         help="also write the campaign metrics in "
+                              "Prometheus text exposition format "
+                              "(rewritten on every refresh; '-' for "
+                              "stdout)")
+    monitor.add_argument("--export-jsonl", metavar="FILE", default=None,
+                         help="also append one scrape of the campaign "
+                              "metrics per refresh to this JSONL "
+                              "time-series file")
+    monitor.add_argument("--json", action="store_true",
+                         help="emit the status snapshot(s) as JSON")
+
     bench = sub.add_parser(
         "bench", help="run the benchmark suite under a stable harness "
                       "and write a schema'd BENCH_PR*.json")
@@ -206,11 +235,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard count (default: same as --workers)")
     bench.add_argument("--repeat", type=int, default=1,
                        help="best-of-N timing repeats (default 1)")
-    bench.add_argument("--pr", type=int, default=4,
+    bench.add_argument("--pr", type=int, default=8,
                        help="PR number recorded in the payload and "
-                            "the default output name (default 4)")
+                            "the default output name (default 8)")
     bench.add_argument("--output", metavar="FILE", default=None,
                        help="output path (default BENCH_PR<pr>.json)")
+    bench.add_argument(
+        "--compare", metavar="OLD.json[,OLD2.json]", type=_comma_list,
+        default=None,
+        help="regression gate: diff this run against committed "
+             "BENCH_PR*.json baselines and exit non-zero if any "
+             "metric regressed past --threshold (wall-clock metrics "
+             "are gated only against same-machine baselines; "
+             "dimensionless speedups always)")
+    bench.add_argument(
+        "--threshold", type=float, default=None,
+        help="slowdown ratio that fails the gate (default 1.5 = 50%% "
+             "worse; only meaningful with --compare)")
+    bench.add_argument(
+        "--inject-slowdown", type=float, default=None, metavar="FACTOR",
+        help="scale the fresh run's wall-clock metrics by FACTOR "
+             "before comparing (the gate's own CI self-test; the "
+             "written payload is NOT scaled)")
     bench.add_argument("--json", action="store_true",
                        help="print the full payload instead of the "
                             "summary table")
@@ -226,7 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
              "--json output (counting enumerates the outer iteration "
              "space; default MINI, pass '' to disable)")
     for subparser in (simulate, compare, profile, transform, sweep,
-                      frontier, bench, lister):
+                      frontier, monitor, bench, lister):
         _add_verbosity_args(subparser)
     return parser
 
@@ -416,6 +462,15 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
                         help="per-point timeout in seconds")
     parser.add_argument("--no-resume", action="store_true",
                         help="re-simulate points already in the store")
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="write per-worker heartbeat records into the store every "
+             "SECONDS so 'repro monitor' can watch the campaign "
+             "(default: off)")
+    parser.add_argument(
+        "--live", action="store_true",
+        help="render live progress (throughput, ETA, errors) on "
+             "stderr while the sweep runs; implies --heartbeat 2")
     parser.add_argument("--table", action="store_true",
                         help="print the per-point result table")
     parser.add_argument("--profile", action="store_true",
@@ -725,18 +780,35 @@ def cmd_sweep(args) -> int:
         _LOG.warning(
             "sweep: note: dropped %d of %d grid combinations with "
             "invalid cache geometry", stats["invalid"], stats["raw"])
+    heartbeat = args.heartbeat
+    if args.live and not heartbeat:
+        heartbeat = 2.0
+    live = None
+    progress = None
+    if args.live:
+        from repro.explore.monitor import LiveProgress
+
+        known = {point.key() for point in points}
+        live = LiveProgress(total=len(known), loaded=0)
+        progress = live.update
     with open_store(args.store) as store:
+        if live is not None and not args.no_resume:
+            live.loaded = len(store.completed_keys() & known)
         try:
             outcome = run_sweep(
                 points, store=store, workers=args.workers,
                 timeout=args.timeout, resume=not args.no_resume,
-                point_workers=args.point_workers)
+                point_workers=args.point_workers,
+                heartbeat=heartbeat, progress=progress)
         except KeyboardInterrupt:
             done = len(store.completed_keys())
             _LOG.warning(
                 "sweep interrupted: %d points in %s; re-run the same "
                 "command to resume", done, args.store)
             return 130
+        finally:
+            if live is not None:
+                live.close()
     if args.profile:
         _print_profile(
             _aggregate_sweep_tracer(outcome.ok_records),
@@ -790,6 +862,9 @@ def cmd_frontier(args) -> int:
                          f"exist (run 'repro sweep' first)")
     with open_store(args.store) as store:
         records = store.ok_records()
+        failed = [] if args.json else [
+            record for record in store.point_records()
+            if record.get("status") != "ok"]
     if not records:
         raise SystemExit(f"frontier: no results in store {args.store!r} "
                          f"(run 'repro sweep' first)")
@@ -815,7 +890,73 @@ def cmd_frontier(args) -> int:
     if args.json:
         print(json.dumps(frontier, indent=2))
     else:
+        from repro.explore.report import (
+            failures_table,
+            store_metrics_summary,
+        )
+
         print(frontier_table(frontier, objectives))
+        # Store-backed metrics ride in every record — surface the
+        # aggregate (warp-memo reuse, ILP pressure) without a flag.
+        print()
+        print(store_metrics_summary(records))
+        if failed:
+            print()
+            print(failures_table(failed))
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    import time
+
+    from repro.explore.monitor import (
+        campaign_registry,
+        campaign_status,
+        monitor_json,
+    )
+    from repro.explore.report import monitor_view
+    from repro.obs.export import append_series, to_prometheus
+
+    if not os.path.exists(args.store):
+        raise SystemExit(f"monitor: store {args.store!r} does not "
+                         f"exist (run 'repro sweep' first)")
+    if args.interval <= 0:
+        raise SystemExit("monitor: --interval must be > 0")
+
+    def render_once() -> dict:
+        # Reopened per refresh: a JSONL store indexes the file at open,
+        # so a long-lived handle would never see the workers' appends.
+        with open_store(args.store) as store:
+            status = campaign_status(store)
+            exporting = args.export_prom or args.export_jsonl
+            registry = (campaign_registry(store, status)
+                        if exporting else None)
+        if registry is not None and args.export_prom:
+            text = to_prometheus(registry)
+            if args.export_prom == "-":
+                print(text, end="")
+            else:
+                with open(args.export_prom, "w",
+                          encoding="utf-8") as handle:
+                    handle.write(text)
+        if registry is not None and args.export_jsonl:
+            append_series(args.export_jsonl, registry, status["now"])
+        if args.json:
+            print(monitor_json(status))
+        elif args.export_prom != "-":
+            print(monitor_view(status))
+        return status
+
+    status = render_once()
+    while not args.once and not status["complete"]:
+        time.sleep(args.interval)
+        if not args.json and args.export_prom != "-" \
+                and sys.stdout.isatty():
+            # Clear and redraw on terminals; plain appends elsewhere.
+            print("\x1b[2J\x1b[H", end="")
+        else:
+            print()
+        status = render_once()
     return 0
 
 
@@ -824,16 +965,58 @@ def cmd_bench(args) -> int:
 
     if args.workers < 1:
         raise SystemExit("bench: --workers must be >= 1")
+    for flag, name in ((args.threshold, "--threshold"),
+                       (args.inject_slowdown, "--inject-slowdown")):
+        if flag is not None and not args.compare:
+            raise SystemExit(f"bench: {name} requires --compare")
     payload = run_bench(workers=args.workers, shards=args.shards,
                         quick=args.quick, repeat=args.repeat,
                         pr=args.pr)
+    report = None
+    if args.compare:
+        from repro.perf.regress import (
+            DEFAULT_THRESHOLD,
+            compare_payloads,
+            inject_slowdown,
+        )
+        from repro.perf.schema import BenchSchemaError, load_and_validate
+
+        try:
+            baselines = [load_and_validate(path)
+                         for path in args.compare]
+        except (OSError, json.JSONDecodeError,
+                BenchSchemaError) as exc:
+            raise SystemExit(f"bench: --compare: {exc}")
+        fresh = payload
+        if args.inject_slowdown is not None:
+            try:
+                fresh = inject_slowdown(payload, args.inject_slowdown)
+            except ValueError as exc:
+                raise SystemExit(f"bench: {exc}")
+        try:
+            report = compare_payloads(
+                fresh, baselines,
+                threshold=(args.threshold if args.threshold is not None
+                           else DEFAULT_THRESHOLD))
+        except ValueError as exc:
+            raise SystemExit(f"bench: --compare: {exc}")
+        # The gate's verdict travels with the payload (optional
+        # section of repro-bench/1, see repro.perf.schema).
+        payload["compare"] = report
     output = args.output or f"BENCH_PR{args.pr}.json"
     write_bench(payload, output)
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         print(bench_summary(payload))
+        if report is not None:
+            from repro.perf.regress import regression_table
+
+            print()
+            print(regression_table(report))
         print(f"wrote {output}")
+    if report is not None and not report["ok"]:
+        return 1
     return 0
 
 
@@ -895,6 +1078,8 @@ def main(argv: Optional[list] = None) -> int:
             return cmd_sweep(args)
         if args.command == "frontier":
             return cmd_frontier(args)
+        if args.command == "monitor":
+            return cmd_monitor(args)
         if args.command == "bench":
             return cmd_bench(args)
         return cmd_list_kernels(args)

@@ -33,6 +33,8 @@ Modules:
 * :mod:`repro.explore.store` — JSONL/SQLite persistent result stores.
 * :mod:`repro.explore.frontier` — Pareto frontiers, policy sensitivity,
   cross-engine deltas.
+* :mod:`repro.explore.monitor` — live campaign monitoring: worker
+  heartbeats, crash forensics, :func:`campaign_status` snapshots.
 * :mod:`repro.explore.report` — text tables for all of the above.
 """
 
@@ -44,6 +46,7 @@ from repro.explore.frontier import (
     policy_sensitivity,
     resolve_objective,
 )
+from repro.explore.monitor import campaign_status
 from repro.explore.runner import (
     SweepOutcome,
     run_point,
@@ -74,6 +77,7 @@ __all__ = [
     "SweepPoint",
     "SweepSpec",
     "SweepUnion",
+    "campaign_status",
     "engine_deltas",
     "expand_specs",
     "load_records",

@@ -101,6 +101,143 @@ def sensitivity_table(rows: List[dict]) -> str:
         title="L1 miss rate by replacement policy")
 
 
+def _fmt_duration(seconds) -> str:
+    """Compact human duration: ``42s``, ``3m10s``, ``2h05m``."""
+    if seconds is None:
+        return "?"
+    seconds = int(round(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+def monitor_summary(status: dict) -> str:
+    """Headline lines of a :func:`~repro.explore.monitor.campaign_status`
+    snapshot: progress, throughput, ETA, worker health."""
+    points = status["points"]
+    parts = [
+        f"campaign: {status['done']}/{status['total']} points "
+        f"({points['ok']} ok, {points['error']} error, "
+        f"{points['timeout']} timeout)"
+    ]
+    if status["complete"]:
+        parts.append("status: complete")
+    elif status["rate_per_s"]:
+        parts.append(
+            f"throughput: {status['rate_per_s']:.2f} points/s, "
+            f"eta {_fmt_duration(status['eta_s'])}"
+            + (f" (elapsed {_fmt_duration(status['elapsed_s'])})"
+               if status["elapsed_s"] is not None else ""))
+    if status["workers"]:
+        parts.append(
+            f"workers: {status['active_workers']}/"
+            f"{len(status['workers'])} active"
+            + (f", {len(status['stragglers'])} straggling"
+               if status["stragglers"] else ""))
+    return "\n".join(parts)
+
+
+def workers_table(workers: Sequence[dict]) -> str:
+    """Per-worker heartbeat table for ``repro monitor``."""
+    rows = []
+    for beat in workers:
+        memo_rate = beat.get("memo_hit_rate")
+        rows.append([
+            beat.get("worker", "?"),
+            beat.get("pid", "?"),
+            beat.get("points_done", 0),
+            beat.get("points_failed", 0) + beat.get("points_timeout", 0),
+            beat.get("current_kernel") or "-",
+            ("-" if beat.get("current_age_s") is None
+             else _fmt_duration(beat["current_age_s"])),
+            ("-" if beat.get("rss_kb") is None
+             else f"{beat['rss_kb'] / 1024:.0f}"),
+            ("-" if beat.get("cpu_s") is None
+             else f"{beat['cpu_s']:.1f}"),
+            "-" if memo_rate is None else f"{100 * memo_rate:.1f}%",
+            "stale" if beat.get("stale") else
+            f"{_fmt_duration(beat.get('age_s'))} ago",
+        ])
+    return format_table(
+        ["worker", "pid", "ok", "fail", "running", "for", "rss MB",
+         "cpu s", "memo hit", "heartbeat"],
+        rows, title="workers")
+
+
+def failures_table(failures: Sequence[dict]) -> str:
+    """Crash-forensics table: one row per failed/timed-out point."""
+    rows = []
+    for record in failures:
+        point = record.get("point", {})
+        info = record.get("failure") or {}
+        phases = info.get("phases") or {}
+        top_phase = "-"
+        if phases:
+            top_phase = max(phases.items(),
+                            key=lambda kv: kv[1].get("total", 0)
+                            if isinstance(kv[1], dict) else 0)[0]
+        rows.append([
+            _program_label(point) if point else "?",
+            record.get("status", "?"),
+            info.get("type", "-"),
+            ("-" if info.get("wall_s") is None
+             else f"{info['wall_s']:.2f}"),
+            top_phase,
+            (record.get("error") or "")[:60],
+        ])
+    return format_table(
+        ["kernel", "status", "type", "wall s", "dominant phase",
+         "error"],
+        rows, title="failures")
+
+
+def monitor_view(status: dict) -> str:
+    """Full ``repro monitor`` screen for one status snapshot."""
+    sections = [monitor_summary(status)]
+    if status["workers"]:
+        sections.append(workers_table(status["workers"]))
+    if status["stragglers"]:
+        lines = ["stragglers:"]
+        for straggler in status["stragglers"]:
+            lines.append(
+                f"  {straggler.get('worker')}: "
+                f"{straggler.get('kernel') or '?'} running "
+                f"{_fmt_duration(straggler.get('age_s'))} "
+                f"(median ok point "
+                f"{_fmt_duration(straggler.get('median_wall_s'))})")
+        sections.append("\n".join(lines))
+    if status["failures"]:
+        sections.append(failures_table(status["failures"]))
+    return "\n\n".join(sections)
+
+
+def store_metrics_summary(records: Sequence[dict]) -> str:
+    """One aggregate metrics line over successful sweep records.
+
+    Surfaces the store-backed per-point metrics (warp-memo reuse and
+    ILP solver pressure) in ``repro frontier`` without another flag:
+    the data already rides in each record's ``result.memo`` /
+    ``result.counters`` sections.
+    """
+    hits = misses = solves = 0
+    for record in records:
+        result = record.get("result") or {}
+        memo = result.get("memo") or {}
+        hits += memo.get("value_hits", 0)
+        misses += memo.get("value_misses", 0)
+        counters = result.get("counters") or {}
+        solves += counters.get("ilp.solves", 0)
+    lookups = hits + misses
+    memo_part = ("memo value hit-rate -"
+                 if not lookups else
+                 f"memo value hit-rate {100 * hits / lookups:.1f}% "
+                 f"({hits}/{lookups})")
+    return (f"metrics: {memo_part}, ilp solves {solves}, "
+            f"{len(records)} points")
+
+
 def deltas_table(rows: List[dict]) -> str:
     """Cross-engine accuracy-delta table."""
     table_rows = [[row["kernel"], row["engine"], row["reference"],

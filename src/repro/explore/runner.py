@@ -28,6 +28,7 @@ from repro import obs
 from repro.cache.cache import Cache
 from repro.cache.config import HierarchyConfig
 from repro.cache.hierarchy import CacheHierarchy
+from repro.explore import monitor
 from repro.explore.spec import SweepPoint, SweepSpec, SweepUnion
 from repro.explore.store import (
     STATUS_ERROR,
@@ -37,6 +38,7 @@ from repro.explore.store import (
     make_record,
 )
 from repro.obs.log import get_logger
+from repro.obs.tracer import Tracer
 from repro.simulation.result import SimulationResult
 
 ProgressFn = Callable[[dict], None]
@@ -50,7 +52,9 @@ def in_daemon_worker() -> bool:
 
 
 def map_parallel(fn: Callable, tasks: Sequence,
-                 workers: int, consume: Callable) -> None:
+                 workers: int, consume: Callable,
+                 initializer: Optional[Callable] = None,
+                 initargs: Tuple = ()) -> None:
     """Fan ``fn`` over ``tasks`` on a process pool, feeding ``consume``.
 
     This is the pool machinery shared by sweep campaigns
@@ -60,12 +64,17 @@ def map_parallel(fn: Callable, tasks: Sequence,
     distributes the work and ``consume`` sees results in *completion*
     order; otherwise everything runs inline, in task order.  ``fn``
     and every task must be picklable; ``fn`` must not raise (workers
-    report failures in their return value).
+    report failures in their return value).  ``initializer`` /
+    ``initargs`` are forwarded to the pool (each worker process runs it
+    once at start-up); they are *not* invoked on the inline path —
+    callers that need per-process setup inline must do it themselves.
     """
     tasks = list(tasks)
     if workers > 1 and len(tasks) > 1 and not in_daemon_worker():
         processes = min(workers, len(tasks))
-        with multiprocessing.Pool(processes=processes) as pool:
+        with multiprocessing.Pool(processes=processes,
+                                  initializer=initializer,
+                                  initargs=initargs) as pool:
             for record in pool.imap_unordered(fn, tasks):
                 consume(record)
     else:
@@ -282,8 +291,10 @@ def run_point(point_dict: dict,
         # An alarm escaped the guarded region (e.g. fired while the
         # record was being built) — still a timeout, not a crash.
         _disarm_alarm()
-        return make_record(point, STATUS_TIMEOUT,
-                           error=f"timed out after {timeout}s")
+        detail = f"timed out after {timeout}s"
+        return make_record(point, STATUS_TIMEOUT, error=detail,
+                           failure=monitor.failure_info(
+                               None, "timeout", detail))
 
 
 def _run_point_guarded(point: SweepPoint,
@@ -292,6 +303,13 @@ def _run_point_guarded(point: SweepPoint,
     use_alarm = (timeout is not None and timeout > 0
                  and hasattr(signal, "SIGALRM"))
     previous = None
+    # The tracer is created *before* the guarded region so the except
+    # clauses can still read it: spans unwind as the exception
+    # propagates, but phase_totals()/counters keep the aggregates up to
+    # the moment of death — exactly the forensics a failure record
+    # wants ("where had the time gone when this point died?").
+    tracer = Tracer()
+    start = time.perf_counter()
     try:
         # Armed inside the try so an alarm that fires immediately (tiny
         # timeout under load) is still caught as a timeout record.
@@ -310,7 +328,7 @@ def _run_point_guarded(point: SweepPoint,
         # resume).  An enclosing tracer — e.g. `repro sweep --profile`
         # running inline — receives the aggregates via merge.
         parent = obs.current()
-        with obs.collect() as tracer:
+        with obs.collect(tracer):
             result = simulate_point(point, workers=workers)
         if parent is not None:
             parent.merge_snapshot(tracer.snapshot())
@@ -319,17 +337,29 @@ def _run_point_guarded(point: SweepPoint,
         payload = result_payload(result)
         payload["phases"] = tracer.phase_totals()
         payload["counters"] = dict(sorted(tracer.counters.items()))
-        payload["memo"] = _memo_delta(memo_before)
+        memo = _memo_delta(memo_before)
+        lookups = memo["value_hits"] + memo["value_misses"]
+        memo["value_hit_rate"] = (round(memo["value_hits"] / lookups, 4)
+                                  if lookups else None)
+        payload["memo"] = memo
         return make_record(point, STATUS_OK, result=payload)
     except _PointTimeout:
         _disarm_alarm()
-        return make_record(point, STATUS_TIMEOUT,
-                           error=f"timed out after {timeout}s")
+        detail = f"timed out after {timeout}s"
+        failure = monitor.failure_info(
+            None, "timeout", detail, tracer=tracer,
+            wall_s=time.perf_counter() - start)
+        return make_record(point, STATUS_TIMEOUT, error=detail,
+                           failure=failure)
     except Exception as exc:  # noqa: BLE001 — captured into the record
         _disarm_alarm()
         detail = "".join(
             traceback.format_exception_only(type(exc), exc)).strip()
-        return make_record(point, STATUS_ERROR, error=detail)
+        failure = monitor.failure_info(
+            exc, type(exc).__name__, detail, tracer=tracer,
+            wall_s=time.perf_counter() - start)
+        return make_record(point, STATUS_ERROR, error=detail,
+                           failure=failure)
     finally:
         if use_alarm:
             _disarm_alarm()
@@ -339,7 +369,14 @@ def _run_point_guarded(point: SweepPoint,
 
 def _run_point_task(task: Tuple) -> dict:
     point_dict, timeout, point_workers = task
-    return run_point(point_dict, timeout=timeout, workers=point_workers)
+    # Monitoring hooks: cheap dict updates when no heartbeat writer is
+    # running, live per-worker telemetry when one is (see
+    # :mod:`repro.explore.monitor`).
+    monitor.point_started(point_dict,
+                          SweepPoint.from_dict(point_dict).key())
+    record = run_point(point_dict, timeout=timeout, workers=point_workers)
+    monitor.point_finished(record)
+    return record
 
 
 def _as_points(sweep) -> List[SweepPoint]:
@@ -354,7 +391,8 @@ def run_sweep(sweep: Union[SweepSpec, SweepUnion, Sequence[SweepPoint]],
               timeout: Optional[float] = None,
               resume: bool = True,
               progress: Optional[ProgressFn] = None,
-              point_workers: int = 1) -> SweepOutcome:
+              point_workers: int = 1,
+              heartbeat: Optional[float] = None) -> SweepOutcome:
     """Run a sweep, storing results and skipping already-computed points.
 
     Args:
@@ -373,6 +411,12 @@ def run_sweep(sweep: Union[SweepSpec, SweepUnion, Sequence[SweepPoint]],
             inside a pool (``workers > 1``) the shards of a point run
             serially in its worker, which still exercises the sharded
             engine but adds no extra processes.
+        heartbeat: when set (seconds) and a store is given, a campaign
+            metadata record is written at start and every worker
+            process writes periodic heartbeat records into the store,
+            enabling ``repro monitor`` (see
+            :mod:`repro.explore.monitor`).  ``None`` (default) writes
+            no monitoring records at all.
 
     Returns:
         A :class:`SweepOutcome`; ``records`` holds one record per point
@@ -430,12 +474,38 @@ def run_sweep(sweep: Union[SweepSpec, SweepUnion, Sequence[SweepPoint]],
         if progress is not None:
             progress(record)
 
+    heartbeats_on = (heartbeat is not None and heartbeat > 0
+                     and store is not None)
+    if heartbeats_on:
+        store.put(monitor.campaign_record(
+            total=outcome.total, pending=len(pending),
+            loaded=outcome.loaded, workers=workers,
+            heartbeat_s=heartbeat))
+
     if pending:
         _LOG.debug("sweep: %d points pending (%d loaded, %d workers)",
                    len(pending), outcome.loaded, workers)
         tasks = [(point.to_dict(), timeout, point_workers)
                  for point in pending]
-        map_parallel(_run_point_task, tasks, workers, consume)
+        # Mirrors map_parallel's pooling condition: pooled runs start
+        # one heartbeat writer per worker process (pool initializer);
+        # the inline path runs a single writer in this process.
+        pooled = (workers > 1 and len(tasks) > 1
+                  and not in_daemon_worker())
+        inline_heartbeats = heartbeats_on and not pooled
+        try:
+            if inline_heartbeats:
+                monitor.start_heartbeats(store.path, heartbeat,
+                                         worker="inline")
+            map_parallel(
+                _run_point_task, tasks, workers, consume,
+                initializer=(monitor.pool_worker_init
+                             if heartbeats_on and pooled else None),
+                initargs=((store.path, heartbeat)
+                          if heartbeats_on and pooled else ()))
+        finally:
+            if inline_heartbeats:
+                monitor.stop_heartbeats()
 
     outcome.records = [by_key[key] for key in ordered_keys
                        if key in by_key]

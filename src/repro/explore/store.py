@@ -32,20 +32,41 @@ STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
 
+#: Keys below this prefix are *monitoring* records (worker heartbeats,
+#: campaign metadata — see :mod:`repro.explore.monitor`), not simulation
+#: points.  They share the store so a campaign and its telemetry travel
+#: as one file, but every analysis path filters them out.
+MONITOR_KEY_PREFIX = "__monitor__/"
+
 _SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def is_monitor_key(key: str) -> bool:
+    """True for heartbeat/campaign-metadata keys (not sweep points)."""
+    return str(key).startswith(MONITOR_KEY_PREFIX)
 
 
 def make_record(point: SweepPoint, status: str,
                 result: Optional[dict] = None,
-                error: Optional[str] = None) -> dict:
-    """Build a store record for a completed (or failed) point."""
-    return {
+                error: Optional[str] = None,
+                failure: Optional[dict] = None) -> dict:
+    """Build a store record for a completed (or failed) point.
+
+    ``failure`` carries structured forensics for non-``ok`` records
+    (exception type, traceback tail, phase totals at death — see
+    :func:`repro.explore.monitor.failure_info`); it is only present in
+    the record when given, so successful records keep their shape.
+    """
+    record = {
         "key": point.key(),
         "point": point.to_dict(),
         "status": status,
         "result": result,
         "error": error,
     }
+    if failure is not None:
+        record["failure"] = failure
+    return record
 
 
 class ResultStore:
@@ -83,12 +104,24 @@ class ResultStore:
     def completed_keys(self) -> set:
         """Keys of successfully computed points (status ``ok``)."""
         return {record["key"] for record in self.records()
-                if record.get("status") == STATUS_OK}
+                if record.get("status") == STATUS_OK
+                and not is_monitor_key(record["key"])}
 
     def ok_records(self) -> List[dict]:
         """All successful records (the analysis layer's input)."""
         return [record for record in self.records()
-                if record.get("status") == STATUS_OK]
+                if record.get("status") == STATUS_OK
+                and not is_monitor_key(record.get("key", ""))]
+
+    def point_records(self) -> List[dict]:
+        """All simulation-point records, any status (no monitor records)."""
+        return [record for record in self.records()
+                if not is_monitor_key(record.get("key", ""))]
+
+    def monitor_records(self) -> List[dict]:
+        """Heartbeat/campaign-metadata records only."""
+        return [record for record in self.records()
+                if is_monitor_key(record.get("key", ""))]
 
 
 class JsonlStore(ResultStore):
@@ -192,7 +225,8 @@ class SqliteStore(ResultStore):
 
     def completed_keys(self) -> set:
         return {row[0] for row in self._conn.execute(
-            "SELECT key FROM results WHERE status = ?", (STATUS_OK,))}
+            "SELECT key FROM results WHERE status = ? "
+            "AND key NOT LIKE ?", (STATUS_OK, MONITOR_KEY_PREFIX + "%"))}
 
     def close(self) -> None:
         self._conn.close()

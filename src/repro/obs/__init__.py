@@ -33,11 +33,28 @@ from contextlib import contextmanager
 from typing import Optional
 
 from .tracer import SpanPath, SpanStats, Tracer
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricRegistry,
+)
+from .export import (
+    append_series,
+    to_prometheus,
+    validate_prometheus,
+    validate_series,
+)
 
 __all__ = [
     "Tracer", "SpanStats", "SpanPath", "Stopwatch",
     "span", "count", "add_time", "stopwatch",
     "enable", "disable", "collect", "current", "is_enabled",
+    "Counter", "Gauge", "Histogram", "MetricError", "MetricFamily",
+    "MetricRegistry", "to_prometheus", "validate_prometheus",
+    "append_series", "validate_series",
 ]
 
 #: The process-global tracer.  ``None`` means profiling is disabled and

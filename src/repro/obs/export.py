@@ -1,0 +1,377 @@
+"""Metric exporters: Prometheus text exposition and JSONL time series.
+
+Two machine-readable views of a :class:`~repro.obs.metrics.MetricRegistry`,
+each with a dependency-free validator in the style of
+:func:`repro.perf.schema.validate_bench` (the contract CI holds the
+exports to):
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): ``# HELP``/``# TYPE`` headers, one sample per line,
+  histograms as cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+  ``_count``.  Any Prometheus server (or ``promtool``) scrapes it
+  as-is; :func:`validate_prometheus` checks the shape without either.
+* :func:`append_series` — an append-only JSONL time series: one JSON
+  object per sample per scrape, timestamped, so a campaign's metric
+  history diffs and greps like the result stores do.
+  :func:`validate_series` additionally enforces *counter monotonicity*
+  per series — the property that makes counters rate-computable.
+
+>>> from repro.obs.metrics import MetricRegistry
+>>> registry = MetricRegistry()
+>>> fam = registry.counter("demo_total", "Demo counter.", ("kind",))
+>>> fam.labels(kind="a").inc(2)
+>>> text = to_prometheus(registry)
+>>> validate_prometheus(text)
+>>> print(text.strip())
+# HELP demo_total Demo counter.
+# TYPE demo_total counter
+demo_total{kind="a"} 2
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .metrics import MetricRegistry, _LABEL_NAME, _METRIC_NAME
+
+__all__ = [
+    "to_prometheus", "validate_prometheus",
+    "append_series", "read_series", "validate_series",
+    "series_line",
+]
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (text.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _label_string(names: Iterable[str], values: Iterable[str],
+                  extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [(name, value) for name, value in zip(names, values)]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label_value(str(value))}"'
+                     for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry: MetricRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    >>> from repro.obs.metrics import MetricRegistry
+    >>> registry = MetricRegistry()
+    >>> registry.gauge("repro_workers", "Active workers.").labels().set(2)
+    >>> print(to_prometheus(registry), end="")
+    # HELP repro_workers Active workers.
+    # TYPE repro_workers gauge
+    repro_workers 2
+    """
+    lines: List[str] = []
+    for name in sorted(registry.families):
+        family = registry.families[name]
+        if family.help:
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        for key, child in family.samples():
+            if family.kind == "histogram":
+                cumulative = child.counts
+                bounds = [*(_format_value(float(b))
+                            for b in child.bounds), "+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_string(family.labelnames, key, (('le', bound),))}"
+                        f" {count}")
+                labels = _label_string(family.labelnames, key)
+                lines.append(f"{name}_sum{labels} "
+                             f"{_format_value(child.sum)}")
+                lines.append(f"{name}_count{labels} {child.count}")
+            else:
+                lines.append(
+                    f"{name}{_label_string(family.labelnames, key)} "
+                    f"{_format_value(child.sample_value())}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?$")
+
+_LABEL_PAIR = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_float(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def validate_prometheus(text: str) -> Dict[str, str]:
+    """Check Prometheus text exposition shape; raises ``ValueError``.
+
+    Enforced: metric/label name syntax, a ``# TYPE`` line before the
+    first sample of each family, known metric kinds, non-negative
+    counter values, and — for histograms — cumulative non-decreasing
+    ``_bucket`` series ending in a ``+Inf`` bucket equal to ``_count``.
+    Returns the ``{family: kind}`` mapping seen.
+    """
+    kinds: Dict[str, str] = {}
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    counts: Dict[str, float] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        where = f"prometheus line {number}"
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ValueError(f"{where}: malformed TYPE line")
+            _, _, name, kind = parts
+            if not _METRIC_NAME.match(name):
+                raise ValueError(f"{where}: bad metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram",
+                            "summary", "untyped"):
+                raise ValueError(f"{where}: unknown kind {kind!r}")
+            if name in kinds:
+                raise ValueError(f"{where}: duplicate TYPE for {name!r}")
+            kinds[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError(f"{where}: malformed sample {line!r}")
+        name = match.group("name")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)] if name.endswith(suffix) else None
+            if base and kinds.get(base) == "histogram":
+                family = base
+                break
+        if family not in kinds:
+            raise ValueError(
+                f"{where}: sample {name!r} has no preceding TYPE line")
+        labels = {}
+        if match.group("labels"):
+            consumed = _LABEL_PAIR.findall(match.group("labels"))
+            for label_name, label_value in consumed:
+                if not _LABEL_NAME.match(label_name):
+                    raise ValueError(
+                        f"{where}: bad label name {label_name!r}")
+                labels[label_name] = label_value
+        try:
+            value = _parse_float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"{where}: bad sample value {match.group('value')!r}")
+        kind = kinds[family]
+        if kind == "counter" and value < 0:
+            raise ValueError(
+                f"{where}: counter {name!r} has negative value {value}")
+        if kind == "histogram":
+            series = json.dumps(
+                {k: v for k, v in sorted(labels.items()) if k != "le"})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    raise ValueError(
+                        f"{where}: histogram bucket without 'le' label")
+                bound = _parse_float(labels["le"])
+                buckets.setdefault(family + series, []).append(
+                    (bound, value))
+            elif name.endswith("_count"):
+                counts[family + series] = value
+    for series, pairs in buckets.items():
+        bounds = [bound for bound, _ in pairs]
+        values = [value for _, value in pairs]
+        if bounds != sorted(bounds):
+            raise ValueError(
+                f"prometheus: histogram series {series!r} buckets "
+                f"out of order")
+        if any(a > b for a, b in zip(values, values[1:])):
+            raise ValueError(
+                f"prometheus: histogram series {series!r} cumulative "
+                f"bucket counts decrease")
+        if not bounds or not math.isinf(bounds[-1]):
+            raise ValueError(
+                f"prometheus: histogram series {series!r} lacks the "
+                f"+Inf bucket")
+        expected = counts.get(series)
+        if expected is not None and values[-1] != expected:
+            raise ValueError(
+                f"prometheus: histogram series {series!r} +Inf bucket "
+                f"{values[-1]} != _count {expected}")
+    return kinds
+
+
+# -- JSONL time series -------------------------------------------------------
+
+def series_line(ts: float, name: str, kind: str,
+                labels: Dict[str, str], value) -> dict:
+    """One JSONL time-series record (the schema the validator checks)."""
+    return {
+        "ts": round(float(ts), 3),
+        "name": name,
+        "type": kind,
+        "labels": {str(k): str(v) for k, v in sorted(labels.items())},
+        "value": value,
+    }
+
+
+def _registry_lines(registry: MetricRegistry, ts: float) -> List[dict]:
+    lines = []
+    for name in sorted(registry.families):
+        family = registry.families[name]
+        for key, child in family.samples():
+            labels = dict(zip(family.labelnames, key))
+            lines.append(series_line(ts, name, family.kind, labels,
+                                     child.sample_value()))
+    return lines
+
+
+def append_series(path: str, registry: MetricRegistry,
+                  ts: float) -> int:
+    """Append one scrape of ``registry`` to the JSONL series at ``path``.
+
+    Every sample becomes one line; returns the number appended.  The
+    caller supplies the timestamp (seconds since the epoch) so scrapes
+    of the same registry are totally ordered.
+    """
+    lines = _registry_lines(registry, ts)
+    if lines:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return len(lines)
+
+
+def read_series(path: str) -> List[dict]:
+    """All records of a JSONL series file, in file order."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_series(source: Union[str, Iterable[dict]]) -> int:
+    """Validate a JSONL time series; raises ``ValueError``.
+
+    ``source`` is a path or an iterable of already-parsed records.
+    Enforced: record shape (``ts``/``name``/``type``/``labels``/
+    ``value``), known metric kinds, non-decreasing timestamps, and
+    **per-series counter monotonicity** — a counter whose value drops
+    between scrapes is corrupt, not merely stale.  Histogram values
+    must carry consistent ``buckets``/``sum``/``count`` structure with
+    a total count matching the last cumulative bucket.  Returns the
+    number of records validated.
+    """
+    records = read_series(source) if isinstance(source, str) else source
+    last_ts: Optional[float] = None
+    counters: Dict[str, float] = {}
+    histogram_arity: Dict[str, int] = {}
+    total = 0
+    for index, record in enumerate(records):
+        where = f"series[{index}]"
+        if not isinstance(record, dict):
+            raise ValueError(f"{where}: expected an object")
+        for field, types in (("ts", (int, float)), ("name", str),
+                             ("type", str), ("labels", dict)):
+            if not isinstance(record.get(field), types):
+                raise ValueError(
+                    f"{where}.{field}: expected {types}, got "
+                    f"{type(record.get(field)).__name__}")
+        if "value" not in record:
+            raise ValueError(f"{where}: missing 'value'")
+        name, kind = record["name"], record["type"]
+        if not _METRIC_NAME.match(name):
+            raise ValueError(f"{where}.name: bad metric name {name!r}")
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"{where}.type: unknown kind {kind!r}")
+        ts = float(record["ts"])
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"{where}.ts: timestamps must be non-decreasing "
+                f"({ts} < {last_ts})")
+        last_ts = ts
+        series = name + json.dumps(
+            {str(k): str(v) for k, v in sorted(record["labels"].items())})
+        value = record["value"]
+        if kind == "counter":
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"{where}.value: counter value must be a "
+                    f"non-negative number, got {value!r}")
+            previous = counters.get(series)
+            if previous is not None and value < previous:
+                raise ValueError(
+                    f"{where}: counter series {series!r} decreases "
+                    f"({previous} -> {value})")
+            counters[series] = value
+        elif kind == "gauge":
+            if not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"{where}.value: gauge value must be a number")
+        else:  # histogram
+            if not isinstance(value, dict):
+                raise ValueError(
+                    f"{where}.value: histogram value must be an object")
+            buckets = value.get("buckets")
+            if not isinstance(buckets, list) or not buckets:
+                raise ValueError(
+                    f"{where}.value.buckets: expected a non-empty list")
+            if any(not isinstance(n, int) or n < 0 for n in buckets):
+                raise ValueError(
+                    f"{where}.value.buckets: expected non-negative "
+                    f"integer counts")
+            if any(a > b for a, b in zip(buckets, buckets[1:])):
+                raise ValueError(
+                    f"{where}.value.buckets: cumulative counts decrease")
+            if value.get("count") != buckets[-1]:
+                raise ValueError(
+                    f"{where}.value: count {value.get('count')!r} != "
+                    f"last cumulative bucket {buckets[-1]}")
+            if not isinstance(value.get("sum"), (int, float)):
+                raise ValueError(f"{where}.value.sum: expected a number")
+            arity = histogram_arity.setdefault(series, len(buckets))
+            if arity != len(buckets):
+                raise ValueError(
+                    f"{where}: histogram series {series!r} changes "
+                    f"bucket arity ({arity} -> {len(buckets)})")
+        total += 1
+    return total

@@ -12,15 +12,26 @@ large campaigns:
   signature).
 * :mod:`repro.perf.bench` — the ``repro bench`` harness writing a
   schema'd ``BENCH_PR*.json`` performance trajectory.
+* :mod:`repro.perf.regress` — the regression gate diffing a fresh
+  bench run against committed trajectory files
+  (``repro bench --compare``).
 """
 
 from repro.perf.memo import WarpMemo, global_memo
+from repro.perf.regress import (
+    compare_payloads,
+    inject_slowdown,
+    regression_table,
+)
 from repro.perf.sharding import shard_simulate
 from repro.perf.signature import scop_signature
 
 __all__ = [
     "WarpMemo",
+    "compare_payloads",
     "global_memo",
+    "inject_slowdown",
+    "regression_table",
     "scop_signature",
     "shard_simulate",
 ]

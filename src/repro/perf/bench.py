@@ -9,8 +9,9 @@ reproducible from one command:
 
 .. code-block:: text
 
-    repro bench --workers 4            # full suite -> BENCH_PR4.json
+    repro bench --workers 4            # full suite -> BENCH_PR8.json
     repro bench --quick                # CI smoke subset
+    repro bench --quick --compare BENCH_PR4.json   # regression gate
 
 Measured per kernel:
 
@@ -123,7 +124,7 @@ def _memo_scenario(repeat: int) -> Dict[str, float]:
 
 def run_bench(workers: int = 4, shards: Optional[int] = None,
               quick: bool = False, repeat: int = 1,
-              pr: int = 4) -> dict:
+              pr: int = 8) -> dict:
     """Run the bench suite and return the (validated) payload."""
     from repro.polybench import build_kernel
     from repro.simulation import simulate_nonwarping, simulate_warping

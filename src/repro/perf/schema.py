@@ -24,6 +24,12 @@ Since PR 5 payloads also carry an optional top-level ``phases`` list —
 one span/counter breakdown per profiled warping run (see
 :func:`repro.obs.profile.phases_payload`); files from earlier PRs
 remain valid without it.
+
+Since PR 8 a payload produced by ``repro bench --compare`` may also
+carry an optional top-level ``compare`` section — the regression-gate
+report of :func:`repro.perf.regress.compare_payloads` — recording what
+the fresh run was compared against and the verdict.  Earlier files
+remain valid without it.
 """
 
 from __future__ import annotations
@@ -162,6 +168,25 @@ def validate_bench(payload: dict) -> List[dict]:
     memo = _require(summary, "memo", dict, "bench.summary")
     for key in ("cold_s", "warm_s", "speedup"):
         _require(memo, key, (int, float), "bench.summary.memo")
+    compare = payload.get("compare")
+    if compare is not None:
+        if not isinstance(compare, dict):
+            raise BenchSchemaError("bench.compare: expected an object")
+        _require(compare, "threshold", (int, float), "bench.compare")
+        _require(compare, "ok", bool, "bench.compare")
+        rows = _require(compare, "rows", list, "bench.compare")
+        regressions = _require(compare, "regressions", list,
+                               "bench.compare")
+        for name, entries in (("rows", rows),
+                              ("regressions", regressions)):
+            for index, row in enumerate(entries):
+                where = f"bench.compare.{name}[{index}]"
+                if not isinstance(row, dict):
+                    raise BenchSchemaError(f"{where}: must be an object")
+                for key, types in (("metric", str),
+                                   ("ratio", (int, float)),
+                                   ("gated", bool)):
+                    _require(row, key, types, where)
     return scenarios
 
 

@@ -218,3 +218,100 @@ def test_sweep_transforms_dimension(tmp_path, capsys):
     transforms = {r["point"].get("transform")
                   for r in second["records"]}
     assert transforms == {None, "tile(i,j:8x8)"}
+
+
+def _fake_bench_payload(pr=8):
+    """Schema-valid payload so bench CLI tests skip the real suite."""
+    return {
+        "schema": "repro-bench/1",
+        "pr": pr,
+        "created_utc": "2026-01-01T00:00:00Z",
+        "suite": "quick",
+        "workers": 2,
+        "shards": 2,
+        "machine": {"platform": "test-platform", "python": "3.11.0",
+                    "cpu_count": 4},
+        "scenarios": [
+            {"kernel": "atax", "size": {"N": 100}, "engine": "tree",
+             "mode": "sequential", "accesses": 1000, "l1_misses": 10,
+             "wall_s": 1.0, "accesses_per_s": 1000.0},
+            {"kernel": "atax", "size": {"N": 100}, "engine": "warping",
+             "mode": "sequential", "accesses": 1000, "l1_misses": 10,
+             "wall_s": 0.1, "accesses_per_s": 10000.0,
+             "speedup_vs_sequential": 10.0},
+        ],
+        "summary": {
+            "sharded_tree_speedup_min": 2.0,
+            "sharded_tree_speedup_geomean": 2.0,
+            "warping_speedup_geomean": 10.0,
+            "memo": {"cold_s": 1.0, "warm_s": 0.5, "speedup": 2.0},
+        },
+    }
+
+
+@pytest.fixture
+def fake_bench(monkeypatch):
+    import repro.perf.bench as bench_module
+
+    monkeypatch.setattr(
+        bench_module, "run_bench",
+        lambda workers=4, shards=None, quick=False, repeat=1, pr=8:
+        _fake_bench_payload(pr=pr))
+
+
+def test_bench_compare_clean_rerun_passes(tmp_path, capsys, fake_bench,
+                                          monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    baseline = tmp_path / "BENCH_PR7.json"
+    baseline.write_text(json.dumps(_fake_bench_payload(pr=7)))
+    out = run(capsys, ["bench", "--quick",
+                       "--compare", str(baseline),
+                       "--output", str(tmp_path / "BENCH_PR8.json")])
+    assert "ok: no metric regressed" in out
+    written = json.loads((tmp_path / "BENCH_PR8.json").read_text())
+    assert written["compare"]["ok"] is True
+    assert written["compare"]["baselines"][0]["pr"] == 7
+
+
+def test_bench_compare_injected_slowdown_fails(tmp_path, capsys,
+                                               fake_bench, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    baseline = tmp_path / "BENCH_PR7.json"
+    baseline.write_text(json.dumps(_fake_bench_payload(pr=7)))
+    code = main(["bench", "--quick", "--compare", str(baseline),
+                 "--inject-slowdown", "2.0",
+                 "--output", str(tmp_path / "BENCH_PR8.json")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "FAIL" in out
+    # The written payload keeps the *measured* numbers (the injection
+    # only skews the comparison) but records the failing verdict.
+    written = json.loads((tmp_path / "BENCH_PR8.json").read_text())
+    assert written["scenarios"][0]["wall_s"] == 1.0
+    assert written["compare"]["ok"] is False
+
+
+def test_bench_compare_multiple_baselines(tmp_path, capsys, fake_bench,
+                                          monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    from repro.perf.regress import inject_slowdown
+
+    fast = tmp_path / "BENCH_PR6.json"
+    fast.write_text(json.dumps(_fake_bench_payload(pr=6)))
+    slow = tmp_path / "BENCH_PR7.json"
+    slow.write_text(json.dumps(
+        inject_slowdown(_fake_bench_payload(pr=7), 3.0)))
+    out = run(capsys, ["bench", "--quick",
+                       "--compare", f"{fast},{slow}",
+                       "--output", str(tmp_path / "BENCH_PR8.json")])
+    assert "PR 6" in out and "PR 7" in out
+
+
+def test_bench_compare_flag_dependencies(tmp_path, fake_bench):
+    with pytest.raises(SystemExit):
+        main(["bench", "--quick", "--threshold", "2.0"])
+    with pytest.raises(SystemExit):
+        main(["bench", "--quick", "--inject-slowdown", "2.0"])
+    with pytest.raises(SystemExit):
+        main(["bench", "--quick", "--compare", "/no/such/file.json",
+              "--output", str(tmp_path / "out.json")])

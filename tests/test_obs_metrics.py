@@ -1,0 +1,260 @@
+"""Tests for repro.obs.metrics and repro.obs.export."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    append_series,
+    read_series,
+    series_line,
+    to_prometheus,
+    validate_prometheus,
+    validate_series,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricRegistry,
+    sanitize_metric_name,
+)
+from repro.obs.tracer import Tracer
+
+
+# -- primitives ---------------------------------------------------------------
+
+def test_counter_monotonic_enforcement():
+    counter = Counter()
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+    with pytest.raises(MetricError):
+        counter.inc(-1)
+    assert counter.value == 6  # unchanged after the rejected inc
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.set(10)
+    gauge.dec(4)
+    gauge.inc(1)
+    assert gauge.value == 7
+
+
+def test_histogram_bucket_boundaries_inclusive_le():
+    hist = Histogram(buckets=(1.0, 2.0))
+    # le semantics are inclusive: an observation exactly on a boundary
+    # falls into that bucket.
+    hist.observe(1.0)
+    hist.observe(2.0)
+    hist.observe(0.5)
+    hist.observe(99.0)  # +Inf bucket
+    # counts are cumulative: le=1, le=2, le=+Inf.
+    assert hist.counts == [2, 3, 4]
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(102.5)
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(MetricError):
+        Histogram(buckets=())
+    with pytest.raises(MetricError):
+        Histogram(buckets=(1.0, 1.0))
+    with pytest.raises(MetricError):
+        Histogram(buckets=(2.0, 1.0))
+    with pytest.raises(MetricError):
+        Histogram(buckets=(1.0, float("inf")))  # +Inf is implicit
+
+
+def test_default_buckets_strictly_increasing():
+    assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+# -- families and registry ----------------------------------------------------
+
+def test_family_label_mismatch_rejected():
+    registry = MetricRegistry()
+    family = registry.counter("repro_points_total", "points",
+                              ("status",))
+    family.labels(status="ok").inc()
+    with pytest.raises(MetricError):
+        family.labels(engine="tree")  # wrong label name
+    with pytest.raises(MetricError):
+        family.labels()  # missing label
+
+
+def test_registry_reregistration_idempotent_and_checked():
+    registry = MetricRegistry()
+    first = registry.counter("repro_x_total", "x", ("k",))
+    again = registry.counter("repro_x_total", "x", ("k",))
+    assert first is again
+    with pytest.raises(MetricError):
+        registry.gauge("repro_x_total", "x", ("k",))  # kind changed
+    with pytest.raises(MetricError):
+        registry.counter("repro_x_total", "x", ("other",))
+
+
+def test_metric_name_validation():
+    registry = MetricRegistry()
+    with pytest.raises(MetricError):
+        registry.counter("bad name")
+    assert sanitize_metric_name("ilp.solves",
+                                prefix="repro_") == "repro_ilp_solves"
+
+
+def test_labeled_family_merge_across_snapshots():
+    """Worker registries merge like process snapshots must: counters
+    and histograms add per label key, gauges take the incoming value."""
+    worker_a = MetricRegistry()
+    worker_b = MetricRegistry()
+    for registry, n in ((worker_a, 2), (worker_b, 3)):
+        points = registry.counter("repro_points_total", "points",
+                                  ("status",))
+        points.labels(status="ok").inc(n)
+        points.labels(status="error").inc(1)
+        rss = registry.gauge("repro_rss_kb", "rss", ("worker",))
+        rss.labels(worker=f"w{n}").set(100 * n)
+        wall = registry.histogram("repro_wall_seconds", "wall",
+                                  buckets=(0.1, 1.0))
+        wall.labels().observe(0.05 * n)
+
+    merged = MetricRegistry()
+    merged.merge_snapshot(worker_a.snapshot())
+    merged.merge_snapshot(worker_b.snapshot())
+
+    points = merged.get("repro_points_total")
+    assert points.labels(status="ok").value == 5
+    assert points.labels(status="error").value == 2
+    # Gauges: distinct label keys stay separate; same key -> latest wins.
+    rss = merged.get("repro_rss_kb")
+    assert rss.labels(worker="w2").value == 200
+    assert rss.labels(worker="w3").value == 300
+    merged.merge_snapshot(worker_a.snapshot())
+    wall = merged.get("repro_wall_seconds")
+    # 0.10 and 0.15 observed, plus the re-merged 0.10: all <= 1.0.
+    assert wall.labels().count == 3
+    assert wall.labels().counts[-1] == 3
+
+
+def test_merge_snapshot_signature_mismatch_raises():
+    one = MetricRegistry()
+    one.counter("repro_a_total", "a")
+    other = MetricRegistry()
+    other.gauge("repro_a_total", "a")
+    with pytest.raises(MetricError):
+        one.merge_snapshot(other.snapshot())
+
+
+def test_ingest_tracer_counters_with_suffix():
+    tracer = Tracer()
+    tracer.count("ilp.solves", 7)
+    registry = MetricRegistry()
+    registry.ingest_tracer(tracer)
+    assert registry.get("repro_ilp_solves").labels().value == 7
+    registry2 = MetricRegistry()
+    registry2.ingest_counters({"ilp.solves": 7}, suffix="_total")
+    assert registry2.get("repro_ilp_solves_total").labels().value == 7
+
+
+# -- Prometheus export --------------------------------------------------------
+
+def _sample_registry() -> MetricRegistry:
+    registry = MetricRegistry()
+    points = registry.counter("repro_points_total", "Points by status.",
+                              ("status",))
+    points.labels(status="ok").inc(5)
+    points.labels(status="error").inc(1)
+    registry.gauge("repro_workers", "Active workers.").labels().set(2)
+    wall = registry.histogram("repro_wall_seconds", "Wall time.",
+                              buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 3.0):
+        wall.labels().observe(value)
+    return registry
+
+
+def test_prometheus_export_round_trip():
+    text = to_prometheus(_sample_registry())
+    kinds = validate_prometheus(text)
+    assert kinds == {
+        "repro_points_total": "counter",
+        "repro_workers": "gauge",
+        "repro_wall_seconds": "histogram",
+    }
+    assert '# TYPE repro_points_total counter' in text
+    assert 'repro_points_total{status="ok"} 5' in text
+    # Histogram exposition: cumulative buckets, +Inf == _count.
+    assert 'repro_wall_seconds_bucket{le="0.1"} 1' in text
+    assert 'repro_wall_seconds_bucket{le="1"} 2' in text
+    assert 'repro_wall_seconds_bucket{le="+Inf"} 3' in text
+    assert 'repro_wall_seconds_count 3' in text
+    assert 'repro_wall_seconds_sum 3.55' in text
+
+
+def test_prometheus_validator_catches_corruption():
+    text = to_prometheus(_sample_registry())
+    broken = text.replace('repro_wall_seconds_bucket{le="+Inf"} 3',
+                          'repro_wall_seconds_bucket{le="+Inf"} 2')
+    with pytest.raises(ValueError):
+        validate_prometheus(broken)
+    with pytest.raises(ValueError):
+        validate_prometheus('repro_points_total{status="ok"} -1\n'
+                            '# TYPE repro_points_total counter\n')
+
+
+def test_prometheus_label_escaping():
+    registry = MetricRegistry()
+    family = registry.counter("repro_kernels_total", "k", ("kernel",))
+    family.labels(kernel='we"ird\\name\n').inc()
+    text = to_prometheus(registry)
+    assert '\\"' in text and "\\\\" in text and "\\n" in text
+    validate_prometheus(text)
+
+
+# -- JSONL time series --------------------------------------------------------
+
+def test_series_export_round_trip(tmp_path):
+    path = str(tmp_path / "series.jsonl")
+    registry = _sample_registry()
+    wrote = append_series(path, registry, ts=100.0)
+    assert wrote == 4  # 2 counter children + 1 gauge + 1 histogram
+    registry.get("repro_points_total").labels(status="ok").inc(2)
+    append_series(path, registry, ts=101.0)
+    records = read_series(path)
+    assert len(records) == 8
+    assert validate_series(path) == 8
+    ok = [r for r in records
+          if r["name"] == "repro_points_total"
+          and r["labels"] == {"status": "ok"}]
+    assert [r["value"] for r in ok] == [5, 7]
+
+
+def test_series_validator_counter_monotonicity(tmp_path):
+    path = str(tmp_path / "series.jsonl")
+    with open(path, "w") as handle:
+        for ts, value in ((1.0, 5), (2.0, 3)):  # counter going down
+            handle.write(json.dumps(series_line(
+                ts, "repro_points_total", "counter", {}, value)) + "\n")
+    with pytest.raises(ValueError, match="monotonic|decreas"):
+        validate_series(path)
+
+
+def test_series_validator_timestamp_order():
+    records = [
+        series_line(2.0, "repro_g", "gauge", {}, 1),
+        series_line(1.0, "repro_g", "gauge", {}, 2),
+    ]
+    with pytest.raises(ValueError):
+        validate_series(records)
+
+
+def test_series_validator_histogram_consistency():
+    good = series_line(1.0, "repro_h", "histogram", {},
+                       {"buckets": [1, 2, 2], "sum": 1.5, "count": 2})
+    assert validate_series([good]) == 1
+    bad = series_line(1.0, "repro_h", "histogram", {},
+                      {"buckets": [1, 2, 2], "sum": 1.5, "count": 3})
+    with pytest.raises(ValueError):
+        validate_series([bad])
