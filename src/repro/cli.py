@@ -235,9 +235,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard count (default: same as --workers)")
     bench.add_argument("--repeat", type=int, default=1,
                        help="best-of-N timing repeats (default 1)")
-    bench.add_argument("--pr", type=int, default=8,
+    bench.add_argument("--pr", type=int, default=10,
                        help="PR number recorded in the payload and "
-                            "the default output name (default 8)")
+                            "the default output name (default 10)")
     bench.add_argument("--output", metavar="FILE", default=None,
                        help="output path (default BENCH_PR<pr>.json)")
     bench.add_argument(

@@ -168,6 +168,31 @@ class LinExpr:
                 const += coeff * off
         return LinExpr(self._coeffs, const)
 
+    # -- canonicalization ----------------------------------------------------
+
+    def key(self) -> tuple:
+        """Hashable structural key: ``(constant, sorted coeff items)``.
+
+        Two expressions have equal keys iff they are equal; the key is
+        stable across processes (sorted by dimension repr), which makes
+        it suitable for canonical-form memoization in
+        :mod:`repro.isl.sets`.
+        """
+        return (self._const,
+                tuple(sorted(self._coeffs.items(),
+                             key=lambda kv: repr(kv[0]))))
+
+    def scaled_integral(self) -> "LinExpr":
+        """The smallest positive multiple with integer coefficients.
+
+        Multiplies by the LCM of all coefficient/constant denominators,
+        so the result takes integer values at every integer point —
+        the precondition for strict-inequality reasoning like
+        ``not (e >= 0)  <=>  -e - 1 >= 0``.
+        """
+        scale = lcm_of_denominators([self])
+        return self if scale == 1 else self * scale
+
     # -- comparison / hashing ------------------------------------------------
 
     def __eq__(self, other) -> bool:

@@ -1,0 +1,205 @@
+"""Certificate checking for the exact LP/ILP core (dependency-free).
+
+Every answer of the rational LP solver in :mod:`repro.isl.ilp` can be
+justified by a *certificate* that is checkable without trusting the
+solver:
+
+* a feasible answer carries a :class:`PrimalCertificate` — an explicit
+  rational (or integral) point; checking it is evaluating every
+  constraint at the point;
+* an infeasible LP answer carries a :class:`FarkasCertificate` — one
+  multiplier per constraint such that the nonnegative combination of
+  the constraints is an identically negative constant (Farkas' lemma:
+  such multipliers exist exactly when the system has no rational
+  solution);
+* an infeasible *integer* answer carries a :class:`BranchCertificate` —
+  a finite branch tree whose inner nodes split an integer variable as
+  ``x <= c  or  x >= c + 1`` (exhaustive over the integers) and whose
+  leaves are Farkas certificates for the branch's constraint system.
+
+The checkers in this module use only :class:`fractions.Fraction`
+arithmetic over :class:`~repro.isl.affine.LinExpr`; they do not import
+the solver.  The test suite uses them as a correctness oracle for the
+simplex implementation, and :func:`repro.isl.ilp.verification` turns
+them on for every solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.isl.affine import LinExpr
+
+
+class CertificateError(ValueError):
+    """A certificate that does not prove the claimed answer."""
+
+
+@dataclass(frozen=True)
+class PrimalCertificate:
+    """A rational point claimed to satisfy every constraint."""
+
+    assignment: Mapping[str, Fraction]
+
+
+@dataclass(frozen=True)
+class FarkasCertificate:
+    """Multipliers proving rational infeasibility.
+
+    ``ge_multipliers[i]`` (each >= 0) multiplies the i-th ``>= 0``
+    constraint, ``eq_multipliers[j]`` (free sign) the j-th ``== 0``
+    constraint; the combination must be an identically negative
+    constant.
+    """
+
+    ge_multipliers: Tuple[Fraction, ...]
+    eq_multipliers: Tuple[Fraction, ...]
+
+
+@dataclass(frozen=True)
+class BranchCertificate:
+    """Integer infeasibility via an exhaustive branch tree.
+
+    At this node the integer variable ``var`` is split into
+    ``var <= floor`` (left) and ``var >= floor + 1`` (right); both
+    subtrees prove their branch infeasible.
+    """
+
+    var: str
+    floor: int
+    left: "InfeasibilityCertificate"
+    right: "InfeasibilityCertificate"
+
+
+InfeasibilityCertificate = Union[FarkasCertificate, BranchCertificate]
+Certificate = Union[PrimalCertificate, FarkasCertificate, BranchCertificate]
+
+
+def _evaluate(expr: LinExpr, assignment: Mapping[str, Fraction]) -> Fraction:
+    total = Fraction(expr.constant)
+    for dim, coeff in expr.coeffs.items():
+        if dim not in assignment:
+            raise CertificateError(
+                f"certificate point misses variable {dim!r}")
+        total += Fraction(coeff) * Fraction(assignment[dim])
+    return total
+
+
+def verify_point(ge: Sequence[LinExpr], eq: Sequence[LinExpr],
+                 certificate: PrimalCertificate,
+                 integral: bool = False) -> None:
+    """Check that the certified point satisfies every constraint.
+
+    With ``integral`` the point must additionally be integer-valued
+    (the ILP case).  Raises :class:`CertificateError` on any violation.
+    """
+    point = certificate.assignment
+    if integral:
+        for dim, value in point.items():
+            if Fraction(value).denominator != 1:
+                raise CertificateError(
+                    f"claimed integer point has {dim} = {value}")
+    for index, expr in enumerate(ge):
+        value = _evaluate(expr, point)
+        if value < 0:
+            raise CertificateError(
+                f"feasible point violates constraint {index}: "
+                f"{expr} = {value} < 0")
+    for index, expr in enumerate(eq):
+        value = _evaluate(expr, point)
+        if value != 0:
+            raise CertificateError(
+                f"feasible point violates equality {index}: "
+                f"{expr} = {value} != 0")
+
+
+def verify_farkas(ge: Sequence[LinExpr], eq: Sequence[LinExpr],
+                  certificate: FarkasCertificate) -> None:
+    """Check a Farkas infeasibility certificate.
+
+    The nonnegative combination ``sum(l_i * ge_i) + sum(m_j * eq_j)``
+    must cancel every variable and leave a negative constant — an
+    unsatisfiable consequence of the system, proving it infeasible
+    over the rationals (hence over the integers).
+    """
+    if len(certificate.ge_multipliers) != len(ge):
+        raise CertificateError(
+            f"expected {len(ge)} inequality multipliers, got "
+            f"{len(certificate.ge_multipliers)}")
+    if len(certificate.eq_multipliers) != len(eq):
+        raise CertificateError(
+            f"expected {len(eq)} equality multipliers, got "
+            f"{len(certificate.eq_multipliers)}")
+    combination = LinExpr.const(0)
+    for index, (expr, mult) in enumerate(zip(ge,
+                                             certificate.ge_multipliers)):
+        if mult < 0:
+            raise CertificateError(
+                f"inequality multiplier {index} is negative: {mult}")
+        if mult:
+            combination = combination + expr * mult
+    for expr, mult in zip(eq, certificate.eq_multipliers):
+        if mult:
+            combination = combination + expr * mult
+    if combination.coeffs:
+        dim = sorted(combination.coeffs, key=repr)[0]
+        raise CertificateError(
+            f"combination does not cancel variable {dim!r}: "
+            f"{combination}")
+    if combination.constant >= 0:
+        raise CertificateError(
+            f"combination constant {combination.constant} is not "
+            "negative — no contradiction derived")
+
+
+def verify_infeasibility(ge: Sequence[LinExpr], eq: Sequence[LinExpr],
+                         certificate: InfeasibilityCertificate) -> None:
+    """Check an integer-infeasibility certificate (Farkas or tree).
+
+    Branch nodes must split a single variable at an integer ``floor``
+    (the two branches jointly cover every integer value); leaves are
+    checked with :func:`verify_farkas` against the accumulated branch
+    constraints.
+    """
+    if isinstance(certificate, FarkasCertificate):
+        verify_farkas(ge, eq, certificate)
+        return
+    if not isinstance(certificate, BranchCertificate):
+        raise CertificateError(
+            f"unknown certificate type {type(certificate).__name__}")
+    if certificate.floor != int(certificate.floor):
+        raise CertificateError(
+            f"branch floor {certificate.floor} is not an integer")
+    floor = int(certificate.floor)
+    var = certificate.var
+    left = list(ge) + [LinExpr({var: -1}, floor)]          # var <= floor
+    right = list(ge) + [LinExpr({var: 1}, -(floor + 1))]   # var >= floor+1
+    verify_infeasibility(left, eq, certificate.left)
+    verify_infeasibility(right, eq, certificate.right)
+
+
+def verify_result(ge: Sequence[LinExpr], eq: Sequence[LinExpr],
+                  status: str, certificate: Optional[Certificate],
+                  integral: bool = False) -> None:
+    """Dispatch: check the certificate matching a solver answer.
+
+    ``status`` is ``"feasible"`` or ``"infeasible"`` (unbounded answers
+    carry no certificate).  Raises :class:`CertificateError` if the
+    certificate is missing or does not prove the answer.
+    """
+    if certificate is None:
+        raise CertificateError(f"no certificate for {status} answer")
+    if status == "feasible":
+        if not isinstance(certificate, PrimalCertificate):
+            raise CertificateError(
+                "feasible answer requires a primal certificate")
+        verify_point(ge, eq, certificate, integral=integral)
+    elif status == "infeasible":
+        if isinstance(certificate, PrimalCertificate):
+            raise CertificateError(
+                "infeasible answer cannot carry a primal certificate")
+        verify_infeasibility(ge, eq, certificate)
+    else:
+        raise CertificateError(f"unknown status {status!r}")

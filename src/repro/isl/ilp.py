@@ -1,26 +1,58 @@
-"""Exact integer linear programming over rationals.
+"""Certified exact integer linear programming over rationals.
 
 The decision procedures in :mod:`repro.isl.sets` (emptiness, lexmin, ...)
 reduce to small integer linear programs.  This module implements:
 
-* a two-phase dense-tableau **simplex** over :class:`fractions.Fraction`
-  with Bland's rule (exact, always terminating), and
-* **branch-and-bound** on top of it for integer solutions.
+* an exact dense-tableau **simplex** over :class:`fractions.Fraction`
+  that starts from the all-slack basis and restores primal feasibility
+  with the *dual* simplex — the zero objective is trivially dual
+  feasible, so feasibility questions need no Phase 1 at all, and every
+  constraint added later (branch bounds, lexicographic pins) is a warm
+  start: one short dual descent from the parent basis instead of a
+  solve from scratch;
+* **branch-and-bound** on top of it for integer answers, where each
+  child node clones the parent tableau and adds a single bound row;
+* **certificates** for every answer (:mod:`repro.isl.certify`): a
+  rational/integral point when feasible, Farkas multipliers — read
+  directly off the slack columns of the failing dual row — when the
+  relaxation is infeasible, and an exhaustive branch tree with Farkas
+  leaves when only the *integer* problem is infeasible.
 
-Problem sizes in this project are tiny (a handful of dimensions, a few dozen
-constraints), so a dense exact implementation is both fast enough and free
-of floating-point soundness bugs.
+Pivoting uses Dantzig's rule (steepest reduced cost) for speed and
+falls back to Bland's rule after :data:`STALL_LIMIT` consecutive
+degenerate pivots, so degenerate tableaus cannot cycle.
+
+Problem sizes in this project are tiny (a handful of dimensions, a few
+dozen constraints), so a dense exact implementation is both fast enough
+and free of floating-point soundness bugs.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.isl.affine import LinExpr
+from repro.isl.certify import (
+    BranchCertificate,
+    CertificateError,
+    FarkasCertificate,
+    PrimalCertificate,
+    verify_farkas,
+    verify_infeasibility,
+    verify_point,
+)
+
+#: Consecutive degenerate pivots tolerated before switching from
+#: Dantzig's rule to Bland's rule (which cannot cycle).
+STALL_LIMIT = 12
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
 
 
 class IlpStatus(enum.Enum):
@@ -33,11 +65,20 @@ class IlpStatus(enum.Enum):
 
 @dataclass
 class IlpResult:
-    """Result of an (I)LP solve: a status and, when optimal, the optimum."""
+    """Result of an (I)LP solve: a status and, when optimal, the optimum.
+
+    ``certificate`` justifies the answer independently of the solver:
+    a :class:`~repro.isl.certify.PrimalCertificate` for OPTIMAL, a
+    :class:`~repro.isl.certify.FarkasCertificate` or
+    :class:`~repro.isl.certify.BranchCertificate` for INFEASIBLE
+    (``None`` for UNBOUNDED, or when branch-and-bound hit an unbounded
+    relaxation it could not certify).
+    """
 
     status: IlpStatus
     objective: Optional[Fraction] = None
     assignment: Optional[Dict[str, Fraction]] = None
+    certificate: Optional[object] = None
 
     @property
     def is_feasible(self) -> bool:
@@ -53,16 +94,359 @@ class BranchLimitExceeded(RuntimeError):
     """
 
 
-@dataclass
-class _StandardForm:
-    """min c.x s.t. A x <= b, x >= 0 (x is the vector of split variables)."""
+# -- verification mode ---------------------------------------------------------
 
-    var_names: List[str]
-    # each original variable maps to (positive-part index, negative-part index)
-    split: Dict[str, Tuple[int, int]]
-    a_rows: List[List[Fraction]]
-    b: List[Fraction]
-    c: List[Fraction]
+_verify_flag = [False]
+
+
+@contextmanager
+def verification(enabled: bool = True):
+    """Verify the certificate of every solve inside the block.
+
+    Each answer's certificate is checked with the dependency-free
+    verifier in :mod:`repro.isl.certify`; a failing check raises
+    :class:`~repro.isl.certify.CertificateError` at the solve site.
+    Checks are counted under ``ilp.cert_checks``; answers that carry no
+    certificate (only unbounded relaxations) count ``ilp.cert_skipped``.
+    """
+    previous = _verify_flag[0]
+    _verify_flag[0] = enabled
+    try:
+        yield
+    finally:
+        _verify_flag[0] = previous
+
+
+def verification_enabled() -> bool:
+    """True while inside a :func:`verification` block."""
+    return _verify_flag[0]
+
+
+class _Tableau:
+    """Dense exact simplex tableau over split nonnegative variables.
+
+    Columns ``0..nstruct-1`` are the structural (sign-split) variables;
+    every row appends one slack column, so row ``r``'s slack lives at
+    column ``nstruct + r`` and the slack block starts as the identity.
+    The right-hand side and the objective row's value are kept out of
+    line (``rhs``, ``obj_rhs``) so adding a row never reshuffles
+    columns.  The basis starts all-slack, which is dual feasible for
+    the zero objective — primal feasibility is established by the dual
+    simplex, so there is no Phase 1 anywhere.
+
+    ``origins[r]`` records which user constraint produced row ``r``
+    (``("ge", i, +1)`` or ``("eq", j, sign)``), which is what lets
+    :meth:`farkas` translate the slack entries of a failing row back
+    into multipliers over the original constraints.
+    """
+
+    __slots__ = ("nstruct", "ncols", "rows", "rhs", "basis",
+                 "obj", "obj_rhs", "origins")
+
+    def __init__(self, nstruct: int):
+        self.nstruct = nstruct
+        self.ncols = nstruct
+        self.rows: List[List[Fraction]] = []
+        self.rhs: List[Fraction] = []
+        self.basis: List[int] = []
+        self.obj: List[Fraction] = [_ZERO] * nstruct
+        self.obj_rhs = _ZERO
+        self.origins: List[Tuple[str, int, int]] = []
+
+    def clone(self) -> "_Tableau":
+        other = _Tableau.__new__(_Tableau)
+        other.nstruct = self.nstruct
+        other.ncols = self.ncols
+        other.rows = [row[:] for row in self.rows]
+        other.rhs = self.rhs[:]
+        other.basis = self.basis[:]
+        other.obj = self.obj[:]
+        other.obj_rhs = self.obj_rhs
+        other.origins = self.origins[:]
+        return other
+
+    # -- incremental construction ---------------------------------------------
+
+    def add_row(self, coeffs: Sequence[Fraction], rhs: Fraction,
+                origin: Tuple[str, int, int]) -> None:
+        """Append constraint ``coeffs . x <= rhs`` with a fresh slack.
+
+        The new row is reduced against the current basis, so after an
+        optimal solve this is a warm start: the objective row stays
+        priced (the new slack has zero cost) and a single dual-simplex
+        descent restores feasibility.
+        """
+        for row in self.rows:
+            row.append(_ZERO)
+        self.obj.append(_ZERO)
+        slack = self.ncols
+        self.ncols += 1
+        row = list(coeffs) + [_ZERO] * (self.ncols - len(coeffs))
+        row[slack] = _ONE
+        for r, var in enumerate(self.basis):
+            factor = row[var]
+            if factor:
+                other = self.rows[r]
+                for j in range(self.ncols):
+                    row[j] -= factor * other[j]
+                rhs -= factor * self.rhs[r]
+        self.rows.append(row)
+        self.rhs.append(rhs)
+        self.basis.append(slack)
+        self.origins.append(origin)
+
+    def set_objective(self, costs: Sequence[Fraction]) -> None:
+        """Install ``min costs . x`` and price it against the basis."""
+        obj = list(costs) + [_ZERO] * (self.ncols - len(costs))
+        obj_rhs = _ZERO
+        for r, var in enumerate(self.basis):
+            coeff = obj[var]
+            if coeff:
+                row = self.rows[r]
+                for j in range(self.ncols):
+                    obj[j] -= coeff * row[j]
+                obj_rhs -= coeff * self.rhs[r]
+        self.obj = obj
+        self.obj_rhs = obj_rhs
+
+    # -- pivoting ---------------------------------------------------------------
+
+    def pivot(self, row_index: int, col: int) -> None:
+        obs.count("ilp.pivots")
+        row = self.rows[row_index]
+        pivot_val = row[col]
+        if pivot_val != 1:
+            inv = _ONE / pivot_val
+            for j in range(self.ncols):
+                row[j] *= inv
+            self.rhs[row_index] *= inv
+        pivot_rhs = self.rhs[row_index]
+        for r, other in enumerate(self.rows):
+            if r == row_index:
+                continue
+            factor = other[col]
+            if factor:
+                for j in range(self.ncols):
+                    other[j] -= factor * row[j]
+                self.rhs[r] -= factor * pivot_rhs
+        factor = self.obj[col]
+        if factor:
+            obj = self.obj
+            for j in range(self.ncols):
+                obj[j] -= factor * row[j]
+            self.obj_rhs -= factor * pivot_rhs
+        self.basis[row_index] = col
+
+    def dual_simplex(self) -> Optional[int]:
+        """Restore primal feasibility from a dual-feasible basis.
+
+        Returns ``None`` once every rhs is nonnegative, or the index of
+        a row with negative rhs and no negative coefficient — a row
+        that *is* an infeasibility proof (see :meth:`farkas`).  Leaving
+        rows are picked by most-negative rhs, entering columns by the
+        dual ratio test; after :data:`STALL_LIMIT` degenerate steps
+        both choices switch to Bland's rule, which cannot cycle.
+        """
+        stall = 0
+        bland = False
+        rhs = self.rhs
+        while True:
+            leave = None
+            if bland:
+                for r, value in enumerate(rhs):
+                    if value < 0 and (leave is None
+                                      or self.basis[r] < self.basis[leave]):
+                        leave = r
+            else:
+                worst = _ZERO
+                for r, value in enumerate(rhs):
+                    if value < worst:
+                        worst = value
+                        leave = r
+            if leave is None:
+                return None
+            row = self.rows[leave]
+            enter = None
+            best_ratio = None
+            for j in range(self.ncols):
+                coeff = row[j]
+                if coeff < 0:
+                    ratio = self.obj[j] / -coeff
+                    if best_ratio is None or ratio < best_ratio:
+                        best_ratio = ratio
+                        enter = j
+            if enter is None:
+                return leave
+            self.pivot(leave, enter)
+            if best_ratio == 0:
+                stall += 1
+                if stall >= STALL_LIMIT and not bland:
+                    bland = True
+                    obs.count("ilp.bland_fallbacks")
+            else:
+                stall = 0
+
+    def primal_simplex(self) -> IlpStatus:
+        """Minimise the priced objective from a primal-feasible basis.
+
+        Dantzig's rule (most negative reduced cost) with the classic
+        min-ratio test; after :data:`STALL_LIMIT` consecutive
+        degenerate pivots it switches to Bland's rule so degenerate
+        tableaus (Beale-style) terminate instead of cycling.
+        """
+        stall = 0
+        bland = False
+        obj = self.obj
+        while True:
+            enter = None
+            if bland:
+                for j in range(self.ncols):
+                    if obj[j] < 0:
+                        enter = j
+                        break
+            else:
+                best_cost = _ZERO
+                for j in range(self.ncols):
+                    cost = obj[j]
+                    if cost < best_cost:
+                        best_cost = cost
+                        enter = j
+            if enter is None:
+                return IlpStatus.OPTIMAL
+            leave = None
+            best_ratio = None
+            for r, row in enumerate(self.rows):
+                coeff = row[enter]
+                if coeff > 0:
+                    ratio = self.rhs[r] / coeff
+                    if (best_ratio is None or ratio < best_ratio
+                            or (ratio == best_ratio
+                                and self.basis[r] < self.basis[leave])):
+                        best_ratio = ratio
+                        leave = r
+            if leave is None:
+                return IlpStatus.UNBOUNDED
+            self.pivot(leave, enter)
+            obj = self.obj
+            if best_ratio == 0:
+                stall += 1
+                if stall >= STALL_LIMIT and not bland:
+                    bland = True
+                    obs.count("ilp.bland_fallbacks")
+            else:
+                stall = 0
+
+    # -- answers ----------------------------------------------------------------
+
+    def point(self) -> List[Fraction]:
+        """Structural-variable values of the current basic solution."""
+        values = [_ZERO] * self.nstruct
+        for r, var in enumerate(self.basis):
+            if var < self.nstruct:
+                values[var] = self.rhs[r]
+        return values
+
+    def farkas(self, row_index: int, n_ge: int,
+               n_eq: int) -> FarkasCertificate:
+        """Read Farkas multipliers off a failing dual row.
+
+        Row ``r`` of the current tableau is the combination of the
+        original rows given by its slack-column entries (the slack
+        block started as the identity).  A failing row has every entry
+        nonnegative and a negative rhs; because each variable enters
+        the split representation as a ``+/-`` column pair whose
+        combined coefficients are negatives of each other, both being
+        nonnegative forces both to zero — so the same multipliers
+        combine the original :class:`LinExpr` constraints into an
+        identically negative constant.
+        """
+        row = self.rows[row_index]
+        ge = [_ZERO] * n_ge
+        eq = [_ZERO] * n_eq
+        base = self.nstruct
+        for r, (kind, index, sign) in enumerate(self.origins):
+            mult = row[base + r]
+            if mult:
+                if kind == "ge":
+                    ge[index] += mult
+                else:
+                    eq[index] += sign * mult
+        return FarkasCertificate(tuple(ge), tuple(eq))
+
+
+class _LpSolver:
+    """One warm tableau over a fixed variable set.
+
+    Variables are split ``x = x+ - x-`` into nonnegative columns; each
+    ``>= 0`` constraint becomes one ``<=`` row, each ``== 0``
+    constraint a pair of opposite rows.  The solver keeps enough
+    origin information to recover points and Farkas certificates in
+    terms of the original :class:`LinExpr` constraints.
+    """
+
+    __slots__ = ("variables", "split", "tableau", "n_ge", "n_eq", "extra")
+
+    def __init__(self, variables: Sequence[str], ge: Sequence[LinExpr],
+                 eq: Sequence[LinExpr]):
+        self.variables = list(variables)
+        self.split = {var: (2 * k, 2 * k + 1)
+                      for k, var in enumerate(self.variables)}
+        self.tableau = _Tableau(2 * len(self.variables))
+        self.n_ge = 0
+        self.n_eq = 0
+        self.extra: List[LinExpr] = []
+        for expr in ge:
+            self.add_ge(expr)
+        for expr in eq:
+            self.add_eq(expr)
+
+    def clone(self) -> "_LpSolver":
+        other = _LpSolver.__new__(_LpSolver)
+        other.variables = self.variables
+        other.split = self.split
+        other.tableau = self.tableau.clone()
+        other.n_ge = self.n_ge
+        other.n_eq = self.n_eq
+        other.extra = self.extra[:]
+        return other
+
+    def _row(self, expr: LinExpr) -> Tuple[List[Fraction], Fraction]:
+        # expr >= 0  <=>  -expr <= 0  <=>  sum(-coeff * x) <= const
+        row = [_ZERO] * self.tableau.nstruct
+        for dim, coeff in expr.coeffs.items():
+            pos, neg = self.split[dim]
+            value = Fraction(coeff)
+            row[pos] -= value
+            row[neg] += value
+        return row, Fraction(expr.constant)
+
+    def add_ge(self, expr: LinExpr) -> None:
+        row, rhs = self._row(expr)
+        self.tableau.add_row(row, rhs, ("ge", self.n_ge, 1))
+        self.n_ge += 1
+
+    def add_eq(self, expr: LinExpr) -> None:
+        row, rhs = self._row(expr)
+        self.tableau.add_row(row, rhs, ("eq", self.n_eq, 1))
+        self.tableau.add_row([-v for v in row], -rhs, ("eq", self.n_eq, -1))
+        self.n_eq += 1
+
+    def costs(self, objective: LinExpr) -> List[Fraction]:
+        costs = [_ZERO] * self.tableau.nstruct
+        for dim, coeff in objective.coeffs.items():
+            pos, neg = self.split[dim]
+            value = Fraction(coeff)
+            costs[pos] += value
+            costs[neg] -= value
+        return costs
+
+    def assignment(self) -> Dict[str, Fraction]:
+        point = self.tableau.point()
+        return {var: point[pos] - point[neg]
+                for var, (pos, neg) in self.split.items()}
+
+    def farkas(self, row_index: int) -> FarkasCertificate:
+        return self.tableau.farkas(row_index, self.n_ge, self.n_eq)
 
 
 class IlpProblem:
@@ -107,17 +491,28 @@ class IlpProblem:
 
     def solve_lp(self, objective: LinExpr,
                  minimize: bool = True) -> IlpResult:
-        """Solve the LP relaxation exactly."""
+        """Solve the LP relaxation exactly, with a certificate."""
         obs.count("ilp.lp_solves")
         for dim in objective.dims():
             self.add_var(dim)
-        form = self._to_standard_form(objective if minimize else -objective)
-        status, value, point = _simplex(form)
-        if status is not IlpStatus.OPTIMAL:
-            return IlpResult(status)
-        assignment = self._recover(form, point)
+        solver = _LpSolver(self._vars, self._ge_constraints,
+                           self._eq_constraints)
+        fail = solver.tableau.dual_simplex()
+        if fail is not None:
+            certificate = solver.farkas(fail)
+            self._check_infeasible(certificate, ())
+            return IlpResult(IlpStatus.INFEASIBLE, certificate=certificate)
+        solver.tableau.set_objective(
+            solver.costs(objective if minimize else -objective))
+        status = solver.tableau.primal_simplex()
+        if status is IlpStatus.UNBOUNDED:
+            return IlpResult(IlpStatus.UNBOUNDED)
+        assignment = solver.assignment()
+        certificate = PrimalCertificate(dict(assignment))
+        self._check_feasible(certificate, integral=False)
         obj_value = objective.evaluate(assignment)
-        return IlpResult(IlpStatus.OPTIMAL, Fraction(obj_value), assignment)
+        return IlpResult(IlpStatus.OPTIMAL, Fraction(obj_value), assignment,
+                         certificate=certificate)
 
     def solve_ilp(self, objective: LinExpr, minimize: bool = True,
                   max_nodes: int = 200_000) -> IlpResult:
@@ -131,9 +526,18 @@ class IlpProblem:
         for dim in objective.dims():
             self.add_var(dim)
         sense = 1 if minimize else -1
+        scaled = objective * sense
+        root = _LpSolver(self._vars, self._ge_constraints,
+                         self._eq_constraints)
         best: Optional[IlpResult] = None
-        # stack of extra >=0 constraints describing each subproblem
-        stack: List[List[LinExpr]] = [[]]
+        best_scaled: Optional[Fraction] = None
+        uncertified = False
+        root_slot: List[object] = [None]
+        # Each entry: (solver, bound expr to add on pop, certificate slot).
+        # The bound is applied lazily so the sibling can clone the parent
+        # tableau before this node's dual descent mutates it.
+        stack: List[Tuple[_LpSolver, Optional[LinExpr], List[object]]] = [
+            (root, None, root_slot)]
         nodes = 0
         try:
             while stack:
@@ -143,43 +547,78 @@ class IlpProblem:
                         f"branch-and-bound exceeded {max_nodes} nodes; "
                         "is the problem bounded?"
                     )
-                extra = stack.pop()
-                sub = self._with_extra(extra)
-                relax = sub.solve_lp(objective * sense, minimize=True)
-                if relax.status is IlpStatus.INFEASIBLE:
+                solver, bound, slot = stack.pop()
+                obs.count("ilp.lp_solves")
+                if bound is None:
+                    # Root: establish feasibility (zero objective is dual
+                    # feasible), then price and optimise.
+                    fail = solver.tableau.dual_simplex()
+                    if fail is None:
+                        solver.tableau.set_objective(solver.costs(scaled))
+                        status = solver.tableau.primal_simplex()
+                    else:
+                        status = IlpStatus.INFEASIBLE
+                else:
+                    # Warm start: parent basis + one bound row, objective
+                    # already priced; one dual descent re-optimises.
+                    obs.count("ilp.warm_starts")
+                    solver.add_ge(bound)
+                    fail = solver.tableau.dual_simplex()
+                    status = (IlpStatus.INFEASIBLE if fail is not None
+                              else IlpStatus.OPTIMAL)
+                if status is IlpStatus.INFEASIBLE:
+                    slot[0] = solver.farkas(fail)
                     continue
-                if relax.status is IlpStatus.UNBOUNDED:
+                if status is IlpStatus.UNBOUNDED:
                     # The relaxation is unbounded.  If an integer point
                     # exists the ILP itself is unbounded in the objective
                     # direction; since all uses in this project are
                     # bounded, report it faithfully.
-                    feas = self._find_integer_point(sub, max_nodes - nodes)
+                    feas = self._find_integer_point(solver.extra,
+                                                    max_nodes - nodes)
                     if feas is None:
+                        uncertified = True
                         continue
                     return IlpResult(IlpStatus.UNBOUNDED)
-                if best is not None and relax.objective >= best.objective * sense:
+                relax_scaled = -solver.tableau.obj_rhs
+                if best_scaled is not None and relax_scaled >= best_scaled:
                     continue  # bound: cannot improve on incumbent
-                frac_dim = _first_fractional(relax.assignment, self._vars)
+                assignment = solver.assignment()
+                frac_dim = _first_fractional(assignment, self._vars)
                 if frac_dim is None:
-                    value = objective.evaluate(relax.assignment)
+                    value = objective.evaluate(assignment)
                     candidate = IlpResult(
                         IlpStatus.OPTIMAL, Fraction(value),
-                        {d: Fraction(v) for d, v in relax.assignment.items()},
+                        {d: Fraction(v) for d, v in assignment.items()},
                     )
-                    if best is None or sense * candidate.objective < sense * best.objective:
+                    if best is None or sense * candidate.objective \
+                            < sense * best.objective:
                         best = candidate
+                        best_scaled = sense * candidate.objective
                     continue
-                split_value = relax.assignment[frac_dim]
+                split_value = assignment[frac_dim]
                 floor_v = split_value.numerator // split_value.denominator
+                left_slot: List[object] = [None]
+                right_slot: List[object] = [None]
+                slot[0] = ("branch", frac_dim, floor_v, left_slot, right_slot)
                 # x <= floor(v)  ->  floor(v) - x >= 0
-                stack.append(extra + [LinExpr({frac_dim: -1}, floor_v)])
+                left = LinExpr({frac_dim: -1}, floor_v)
                 # x >= floor(v)+1  ->  x - floor(v) - 1 >= 0
-                stack.append(extra + [LinExpr({frac_dim: 1}, -(floor_v + 1))])
+                right = LinExpr({frac_dim: 1}, -(floor_v + 1))
+                sibling = solver.clone()
+                solver.extra.append(left)
+                sibling.extra.append(right)
+                stack.append((solver, left, left_slot))
+                stack.append((sibling, right, right_slot))
         finally:
             obs.count("ilp.bnb_nodes", nodes)
-        if best is None:
-            return IlpResult(IlpStatus.INFEASIBLE)
-        return best
+        if best is not None:
+            best.certificate = PrimalCertificate(dict(best.assignment))
+            self._check_feasible(best.certificate, integral=True)
+            return best
+        certificate = None if uncertified else _build_tree(root_slot[0])
+        self._check_infeasible(certificate, ())
+        return IlpResult(IlpStatus.INFEASIBLE, certificate=certificate)
 
     def is_feasible(self, max_nodes: int = 200_000) -> bool:
         """True if the constraints admit an integer solution."""
@@ -193,9 +632,30 @@ class IlpProblem:
             return None
         return {d: int(v) for d, v in result.assignment.items()}
 
+    # -- certification ---------------------------------------------------------
+
+    def _check_feasible(self, certificate: PrimalCertificate,
+                        integral: bool) -> None:
+        if not _verify_flag[0]:
+            return
+        obs.count("ilp.cert_checks")
+        verify_point(self._ge_constraints, self._eq_constraints,
+                     certificate, integral=integral)
+
+    def _check_infeasible(self, certificate,
+                          extra: Sequence[LinExpr]) -> None:
+        if not _verify_flag[0]:
+            return
+        if certificate is None:
+            obs.count("ilp.cert_skipped")
+            return
+        obs.count("ilp.cert_checks")
+        verify_infeasibility(list(self._ge_constraints) + list(extra),
+                             self._eq_constraints, certificate)
+
     # -- helpers ---------------------------------------------------------------
 
-    def _with_extra(self, extra: List[LinExpr]) -> "IlpProblem":
+    def _with_extra(self, extra: Sequence[LinExpr]) -> "IlpProblem":
         sub = IlpProblem()
         for var in self._vars:
             sub.add_var(var)
@@ -207,195 +667,39 @@ class IlpProblem:
             sub.add_ge0(con)
         return sub
 
-    def _find_integer_point(self, sub: "IlpProblem",
+    def _find_integer_point(self, extra: Sequence[LinExpr],
                             budget: int) -> Optional[Dict[str, int]]:
         try:
-            return sub.find_point(max_nodes=max(budget, 1000))
+            return self._with_extra(extra).find_point(
+                max_nodes=max(budget, 1000))
         except BranchLimitExceeded:
             return None
 
-    def _to_standard_form(self, objective: LinExpr) -> _StandardForm:
-        split = {}
-        var_names = []
-        for var in self._vars:
-            pos = len(var_names)
-            var_names.append(f"{var}+")
-            neg = len(var_names)
-            var_names.append(f"{var}-")
-            split[var] = (pos, neg)
-        n = len(var_names)
 
-        def row_of(expr: LinExpr) -> Tuple[List[Fraction], Fraction]:
-            # expr >= 0  <=>  -expr <= 0  <=>  sum(-coeff * x) <= const
-            row = [Fraction(0)] * n
-            for dim, coeff in expr.coeffs.items():
-                pos, neg = split[dim]
-                row[pos] -= Fraction(coeff)
-                row[neg] += Fraction(coeff)
-            return row, Fraction(expr.constant)
+def _build_tree(cell) -> Optional[object]:
+    """Assemble branch slots into a certificate, or None if incomplete.
 
-        a_rows: List[List[Fraction]] = []
-        b: List[Fraction] = []
-        for con in self._ge_constraints:
-            row, rhs = row_of(con)
-            a_rows.append(row)
-            b.append(rhs)
-        for con in self._eq_constraints:
-            row, rhs = row_of(con)
-            a_rows.append(row)
-            b.append(rhs)
-            a_rows.append([-v for v in row])
-            b.append(-rhs)
-
-        c = [Fraction(0)] * n
-        for dim, coeff in objective.coeffs.items():
-            pos, neg = split[dim]
-            c[pos] += Fraction(coeff)
-            c[neg] -= Fraction(coeff)
-        return _StandardForm(var_names, split, a_rows, b, c)
-
-    def _recover(self, form: _StandardForm,
-                 point: List[Fraction]) -> Dict[str, Fraction]:
-        assignment = {}
-        for var, (pos, neg) in form.split.items():
-            assignment[var] = point[pos] - point[neg]
-        return assignment
+    A slot is a :class:`FarkasCertificate` leaf, a
+    ``("branch", var, floor, left, right)`` node, or ``None`` when the
+    subtree was pruned or never solved (cannot happen when the overall
+    answer is INFEASIBLE: pruning needs an incumbent).
+    """
+    if cell is None:
+        return None
+    if isinstance(cell, FarkasCertificate):
+        return cell
+    _, var, floor_v, left_slot, right_slot = cell
+    left = _build_tree(left_slot[0])
+    right = _build_tree(right_slot[0])
+    if left is None or right is None:
+        return None
+    return BranchCertificate(var, floor_v, left, right)
 
 
 def _first_fractional(assignment: Dict[str, Fraction],
                       order: Sequence[str]) -> Optional[str]:
     for dim in order:
-        value = assignment.get(dim, Fraction(0))
+        value = assignment.get(dim, _ZERO)
         if value.denominator != 1:
             return dim
     return None
-
-
-def _simplex(form: _StandardForm):
-    """Two-phase simplex. Returns (status, objective value, point)."""
-    m = len(form.a_rows)
-    n = len(form.var_names)
-    if m == 0:
-        # No constraints: optimum is 0 at origin unless objective can decrease,
-        # in which case it is unbounded (variables are nonnegative here).
-        if any(c < 0 for c in form.c):
-            return IlpStatus.UNBOUNDED, None, None
-        return IlpStatus.OPTIMAL, Fraction(0), [Fraction(0)] * n
-
-    # Tableau layout: columns = n structural vars, m slack vars, rhs.
-    # Phase 1 additionally appends artificial vars for rows with negative rhs.
-    tableau = []
-    basis = []
-    negative_rows = [i for i in range(m) if form.b[i] < 0]
-    num_art = len(negative_rows)
-    width = n + m + num_art + 1
-    art_index = {}
-    for k, i in enumerate(negative_rows):
-        art_index[i] = n + m + k
-    for i in range(m):
-        row = [Fraction(0)] * width
-        sign = -1 if form.b[i] < 0 else 1
-        for j in range(n):
-            row[j] = sign * form.a_rows[i][j]
-        row[n + i] = Fraction(sign)
-        row[-1] = sign * form.b[i]
-        if i in art_index:
-            row[art_index[i]] = Fraction(1)
-            basis.append(art_index[i])
-        else:
-            basis.append(n + i)
-        tableau.append(row)
-
-    if num_art:
-        # Phase 1: minimise sum of artificials.
-        obj = [Fraction(0)] * width
-        for i in art_index.values():
-            obj[i] = Fraction(1)
-        _price_out(obj, tableau, basis)
-        status = _iterate(tableau, basis, obj, n + m + num_art)
-        if status is IlpStatus.UNBOUNDED or obj[-1] != 0:
-            # Phase-1 objective > 0 at optimum means infeasible. The phase-1
-            # objective is bounded below by 0, so UNBOUNDED cannot occur; we
-            # treat it as infeasible defensively.
-            return IlpStatus.INFEASIBLE, None, None
-        # Drive any artificial variables out of the basis.
-        for r, var in enumerate(basis):
-            if var >= n + m:
-                pivot_col = next(
-                    (j for j in range(n + m) if tableau[r][j] != 0), None
-                )
-                if pivot_col is None:
-                    continue  # redundant row
-                _pivot(tableau, basis, r, pivot_col)
-
-    # Phase 2.
-    obj = [Fraction(0)] * width
-    for j in range(n):
-        obj[j] = form.c[j]
-    _price_out(obj, tableau, basis)
-    status = _iterate(tableau, basis, obj, n + m)
-    if status is IlpStatus.UNBOUNDED:
-        return IlpStatus.UNBOUNDED, None, None
-    point = [Fraction(0)] * n
-    for r, var in enumerate(basis):
-        if var < n:
-            point[var] = tableau[r][-1]
-    return IlpStatus.OPTIMAL, -obj[-1], point
-
-
-def _price_out(obj: List[Fraction], tableau, basis) -> None:
-    """Make the objective row consistent with the current basis."""
-    for r, var in enumerate(basis):
-        coeff = obj[var]
-        if coeff != 0:
-            row = tableau[r]
-            for j in range(len(obj)):
-                obj[j] -= coeff * row[j]
-
-
-def _iterate(tableau, basis, obj, num_cols) -> IlpStatus:
-    """Run simplex iterations with Bland's rule until optimal/unbounded."""
-    m = len(tableau)
-    while True:
-        enter = next(
-            (j for j in range(num_cols) if obj[j] < 0), None
-        )
-        if enter is None:
-            return IlpStatus.OPTIMAL
-        # ratio test (Bland: smallest basis var index breaks ties)
-        leave = None
-        best_ratio = None
-        for r in range(m):
-            coeff = tableau[r][enter]
-            if coeff > 0:
-                ratio = tableau[r][-1] / coeff
-                if (best_ratio is None or ratio < best_ratio
-                        or (ratio == best_ratio and basis[r] < basis[leave])):
-                    best_ratio = ratio
-                    leave = r
-        if leave is None:
-            return IlpStatus.UNBOUNDED
-        _pivot(tableau, basis, leave, enter)
-        coeff = obj[enter]
-        if coeff != 0:
-            row = tableau[leave]
-            for j in range(len(obj)):
-                obj[j] -= coeff * row[j]
-
-
-def _pivot(tableau, basis, row: int, col: int) -> None:
-    """Pivot the tableau so that ``col`` becomes basic in ``row``."""
-    obs.count("ilp.pivots")
-    pivot_row = tableau[row]
-    pivot_val = pivot_row[col]
-    inv = Fraction(1) / pivot_val
-    for j in range(len(pivot_row)):
-        pivot_row[j] *= inv
-    for r, other in enumerate(tableau):
-        if r == row:
-            continue
-        factor = other[col]
-        if factor != 0:
-            for j in range(len(other)):
-                other[j] -= factor * pivot_row[j]
-    basis[row] = col

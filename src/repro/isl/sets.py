@@ -24,6 +24,8 @@ import functools
 import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from math import gcd
+
 from repro import obs
 from repro.isl.affine import LinExpr
 from repro.isl.ilp import IlpProblem, IlpStatus
@@ -33,6 +35,93 @@ _fresh_counter = itertools.count()
 
 def _fresh_name(prefix: str) -> str:
     return f"${prefix}{next(_fresh_counter)}"
+
+
+# -- canonical forms and decision memoization ----------------------------------
+#
+# Decision procedures (emptiness, lexmin, min/max) depend only on the
+# *set*, not on how it was built — but `_fresh_name`'s process-global
+# counter gives structurally identical sets different local names, so
+# naive keys never collide.  The canonical key renames divs/existentials
+# positionally ($d0..., $e0...), scales every constraint to integer
+# coefficients, GCD-reduces it (floor-tightening inequality constants,
+# which is exact over the integers), normalizes equality signs, and
+# sorts/dedupes the constraint lists.  Equal keys therefore imply equal
+# integer sets, which makes the module-global decision cache below
+# sound: answers are reused across independently built sets and across
+# sweep configurations.  Hits/misses are counted as ``isl.memo_hits`` /
+# ``isl.memo_misses``.
+
+_CONTRADICTION = object()   # canonical marker: constraint is unsatisfiable
+_MISS = object()
+
+_DECISION_CACHE: Dict[tuple, object] = {}
+
+#: Bounded size of the decision cache (FIFO eviction).
+DECISION_CACHE_LIMIT = 8192
+
+
+def clear_decision_cache() -> None:
+    """Drop all memoized decision-procedure answers (tests, sweeps)."""
+    _DECISION_CACHE.clear()
+
+
+def decision_cache_size() -> int:
+    """Number of memoized decision answers currently held."""
+    return len(_DECISION_CACHE)
+
+
+def _memo(op: str, basic: "BasicSet", extra, compute):
+    key = (op, basic.canonical_key(), extra)
+    cache = _DECISION_CACHE
+    value = cache.get(key, _MISS)
+    if value is not _MISS:
+        obs.count("isl.memo_hits")
+        return value
+    obs.count("isl.memo_misses")
+    value = compute()
+    if len(cache) >= DECISION_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+    return value
+
+
+def _dim_sort(item):
+    return repr(item[0])
+
+
+def _canon_eq(expr: LinExpr):
+    """Canonical tuple for an integral ``expr == 0`` (or markers)."""
+    items = sorted(expr.coeffs.items(), key=_dim_sort)
+    const = int(expr.constant)
+    if not items:
+        return None if const == 0 else _CONTRADICTION
+    divisor = 0
+    for _, coeff in items:
+        divisor = gcd(divisor, abs(int(coeff)))
+    if const % divisor:
+        return _CONTRADICTION  # g | lhs but not the constant: no solution
+    sign = -1 if int(items[0][1]) < 0 else 1
+    return (sign * const // divisor,
+            tuple((dim, sign * int(coeff) // divisor)
+                  for dim, coeff in items))
+
+
+def _canon_ineq(expr: LinExpr):
+    """Canonical tuple for an integral ``expr >= 0`` (or markers)."""
+    items = sorted(expr.coeffs.items(), key=_dim_sort)
+    const = int(expr.constant)
+    if not items:
+        return None if const >= 0 else _CONTRADICTION
+    divisor = 0
+    for _, coeff in items:
+        divisor = gcd(divisor, abs(int(coeff)))
+    if divisor > 1:
+        # Floor-tightening: g*a.x + c >= 0 <=> a.x + floor(c/g) >= 0
+        # over the integers.
+        const = const // divisor
+        items = [(dim, int(coeff) // divisor) for dim, coeff in items]
+    return (const, tuple((dim, int(coeff)) for dim, coeff in items))
 
 
 def _decision_procedure(func):
@@ -61,7 +150,7 @@ def _decision_procedure(func):
 class BasicSet:
     """A conjunction of affine constraints with div/existential dims."""
 
-    __slots__ = ("dims", "divs", "exists", "eqs", "ineqs")
+    __slots__ = ("dims", "divs", "exists", "eqs", "ineqs", "_canon")
 
     def __init__(self, dims: Sequence[str],
                  eqs: Iterable[LinExpr] = (),
@@ -73,6 +162,7 @@ class BasicSet:
         self.exists: Tuple[str, ...] = tuple(exists)
         self.eqs: Tuple[LinExpr, ...] = tuple(eqs)
         self.ineqs: Tuple[LinExpr, ...] = tuple(ineqs)
+        self._canon = None
         for _, _, den in self.divs:
             if den <= 0:
                 raise ValueError("div denominator must be positive")
@@ -173,6 +263,88 @@ class BasicSet:
         return BasicSet(dims, self.eqs, self.ineqs, self.divs,
                         self.exists + tuple(d for d in self.dims if d in hide))
 
+    # -- canonical form ---------------------------------------------------------
+
+    def _canonical(self) -> tuple:
+        """``(key, local rename mapping)``, computed once per instance."""
+        if self._canon is None:
+            self._canon = self._compute_canonical()
+        return self._canon
+
+    def canonical_key(self) -> tuple:
+        """A stable structural key, invariant under local names, order,
+        and scaling.
+
+        Divs and general existentials are renamed positionally
+        (``$d0...``, ``$e0...``), every constraint is scaled to integer
+        coefficients and GCD-reduced (inequality constants are
+        floor-tightened, an exact step over the integers), equalities
+        are sign-normalized, and both constraint lists are sorted and
+        deduplicated.  Sets whose constraints contain a constant
+        contradiction all share one "empty" key.  Equal keys imply
+        equal integer sets, so the key is a sound memoization key for
+        every decision procedure.
+        """
+        return self._canonical()[0]
+
+    def _compute_canonical(self) -> tuple:
+        mapping: Dict[str, str] = {}
+        for index, (name, _, _) in enumerate(self.divs):
+            mapping[name] = f"$d{index}"
+        for index, name in enumerate(self.exists):
+            mapping[name] = f"$e{index}"
+        eq_keys = set()
+        ineq_keys = set()
+        empty = False
+        for expr in self.eqs:
+            if mapping:
+                expr = expr.rename(mapping)
+            key = _canon_eq(expr.scaled_integral())
+            if key is _CONTRADICTION:
+                empty = True
+                break
+            if key is not None:
+                eq_keys.add(key)
+        if not empty:
+            for expr in self.ineqs:
+                if mapping:
+                    expr = expr.rename(mapping)
+                key = _canon_ineq(expr.scaled_integral())
+                if key is _CONTRADICTION:
+                    empty = True
+                    break
+                if key is not None:
+                    ineq_keys.add(key)
+        if empty:
+            return ((self.dims, "empty"), mapping)
+        divs = tuple(
+            ((num.rename(mapping) if mapping else num).key(), den)
+            for _, num, den in self.divs
+        )
+        key = (
+            self.dims,
+            tuple(sorted(eq_keys, key=repr)),
+            tuple(sorted(ineq_keys, key=repr)),
+            divs,
+            len(self.exists),
+        )
+        return (key, mapping)
+
+    def _local_expr_key(self, expr: LinExpr) -> tuple:
+        """Canonical key of an objective under this set's local renaming."""
+        mapping = self._canonical()[1]
+        if mapping:
+            expr = expr.rename(mapping)
+        return expr.key()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BasicSet):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
     # -- ILP bridge -----------------------------------------------------------------
 
     def _to_ilp(self) -> IlpProblem:
@@ -190,11 +362,15 @@ class BasicSet:
     @_decision_procedure
     def is_empty(self) -> bool:
         """True if the set contains no integer point."""
-        return not self._to_ilp().is_feasible()
+        return _memo("is_empty", self, None,
+                     lambda: not self._to_ilp().is_feasible())
 
     @_decision_procedure
     def sample(self) -> Optional[Tuple[int, ...]]:
         """Some point of the set (visible dims only), or None."""
+        return _memo("sample", self, None, self._sample)
+
+    def _sample(self) -> Optional[Tuple[int, ...]]:
         point = self._to_ilp().find_point()
         if point is None:
             return None
@@ -236,12 +412,14 @@ class BasicSet:
     @_decision_procedure
     def lexmin(self) -> Optional[Tuple[int, ...]]:
         """Lexicographically smallest point, or None if empty."""
-        return self._lexopt(minimize=True)
+        return _memo("lexmin", self, None,
+                     lambda: self._lexopt(minimize=True))
 
     @_decision_procedure
     def lexmax(self) -> Optional[Tuple[int, ...]]:
         """Lexicographically largest point, or None if empty."""
-        return self._lexopt(minimize=False)
+        return _memo("lexmax", self, None,
+                     lambda: self._lexopt(minimize=False))
 
     def _lexopt(self, minimize: bool) -> Optional[Tuple[int, ...]]:
         ilp = self._to_ilp()
@@ -262,22 +440,46 @@ class BasicSet:
     @_decision_procedure
     def min_of(self, expr: LinExpr) -> Optional[int]:
         """Exact integer minimum of ``expr`` over the set (None if empty)."""
-        result = self._to_ilp().solve_ilp(expr, minimize=True)
-        if result.status is IlpStatus.INFEASIBLE:
-            return None
-        if result.status is IlpStatus.UNBOUNDED:
-            raise ValueError("minimum unbounded")
-        return int(result.objective)
+        return _memo("min_of", self, self._local_expr_key(expr),
+                     lambda: self._opt_of(expr, minimize=True))
 
     @_decision_procedure
     def max_of(self, expr: LinExpr) -> Optional[int]:
         """Exact integer maximum of ``expr`` over the set (None if empty)."""
-        result = self._to_ilp().solve_ilp(expr, minimize=False)
+        return _memo("max_of", self, self._local_expr_key(expr),
+                     lambda: self._opt_of(expr, minimize=False))
+
+    @_decision_procedure
+    def range_of(self, expr: LinExpr) -> Optional[Tuple[int, int]]:
+        """``(min, max)`` of ``expr`` over the set, or None if empty.
+
+        One memo entry and one shared ILP problem for both bounds —
+        cheaper than separate :meth:`min_of` / :meth:`max_of` calls for
+        the hull queries the warping engine issues in pairs.
+        """
+        return _memo("range_of", self, self._local_expr_key(expr),
+                     lambda: self._range_of(expr))
+
+    def _opt_of(self, expr: LinExpr, minimize: bool) -> Optional[int]:
+        result = self._to_ilp().solve_ilp(expr, minimize=minimize)
         if result.status is IlpStatus.INFEASIBLE:
             return None
         if result.status is IlpStatus.UNBOUNDED:
-            raise ValueError("maximum unbounded")
+            raise ValueError(
+                "minimum unbounded" if minimize else "maximum unbounded")
         return int(result.objective)
+
+    def _range_of(self, expr: LinExpr) -> Optional[Tuple[int, int]]:
+        ilp = self._to_ilp()
+        lo = ilp.solve_ilp(expr, minimize=True)
+        if lo.status is IlpStatus.INFEASIBLE:
+            return None
+        if lo.status is IlpStatus.UNBOUNDED:
+            raise ValueError("minimum unbounded")
+        hi = ilp.solve_ilp(expr, minimize=False)
+        if hi.status is IlpStatus.UNBOUNDED:
+            raise ValueError("maximum unbounded")
+        return (int(lo.objective), int(hi.objective))
 
     # -- algebra ------------------------------------------------------------------------
 
@@ -299,12 +501,21 @@ class BasicSet:
         if self.exists:
             raise ValueError("cannot negate a set with general existentials")
         pieces: List[BasicSet] = []
+        # Strict-inequality reasoning (e > 0 <=> e >= 1) is only valid
+        # when e is integer-valued, so rational coefficients must be
+        # scaled away first: with e = x/2, "not (e >= 0)" is x <= -1,
+        # but "-e - 1 >= 0" would claim x <= -2.
         for eq in self.eqs:
-            pieces.append(BasicSet(self.dims, ineqs=[eq - 1], divs=self.divs))
-            pieces.append(BasicSet(self.dims, ineqs=[-eq - 1], divs=self.divs))
+            scaled = eq.scaled_integral()
+            pieces.append(BasicSet(self.dims, ineqs=[scaled - 1],
+                                   divs=self.divs))
+            pieces.append(BasicSet(self.dims, ineqs=[-scaled - 1],
+                                   divs=self.divs))
         for ineq in self.ineqs:
-            # not (e >= 0)  <=>  -e - 1 >= 0
-            pieces.append(BasicSet(self.dims, ineqs=[-ineq - 1], divs=self.divs))
+            # not (e >= 0)  <=>  -e - 1 >= 0 (e integral)
+            scaled = ineq.scaled_integral()
+            pieces.append(BasicSet(self.dims, ineqs=[-scaled - 1],
+                                   divs=self.divs))
         return Set(self.dims, pieces)
 
     def enumerate_points(self, limit: int = 1_000_000) -> List[Tuple[int, ...]]:
@@ -424,6 +635,13 @@ class Set:
         values = [p.max_of(expr) for p in self.pieces]
         values = [v for v in values if v is not None]
         return max(values) if values else None
+
+    def range_of(self, expr: LinExpr) -> Optional[Tuple[int, int]]:
+        ranges = [p.range_of(expr) for p in self.pieces]
+        ranges = [r for r in ranges if r is not None]
+        if not ranges:
+            return None
+        return (min(lo for lo, _ in ranges), max(hi for _, hi in ranges))
 
     def enumerate_points(self, limit: int = 1_000_000) -> List[Tuple[int, ...]]:
         seen = set()

@@ -53,12 +53,34 @@ def counter_table(tracer: Tracer, title: str = "counters") -> str:
     return format_table(["counter", "value"], rows, title=title)
 
 
+def decision_cache_line(tracer: Tracer) -> Optional[str]:
+    """One-line decision-cache summary, or None if it never engaged.
+
+    The canonical-form memo of :mod:`repro.isl.sets` counts
+    ``isl.memo_hits`` / ``isl.memo_misses``; the line also reports the
+    cache's current population so sweeps can see it saturating.
+    """
+    hits = tracer.counters.get("isl.memo_hits", 0)
+    misses = tracer.counters.get("isl.memo_misses", 0)
+    total = hits + misses
+    if not total:
+        return None
+    from ..isl.sets import decision_cache_size
+
+    return (f"decision cache: {hits} hits / {misses} misses "
+            f"({100.0 * hits / total:.1f}% hit rate, "
+            f"{decision_cache_size()} entries)")
+
+
 def render_profile(tracer: Tracer, title: str = "phase attribution",
                    wall_s: Optional[float] = None) -> str:
     """Phase table plus counter table (the default CLI output)."""
     parts = [phase_table(tracer, title=title, wall_s=wall_s)]
     if tracer.counters:
         parts.append(counter_table(tracer))
+    cache_line = decision_cache_line(tracer)
+    if cache_line is not None:
+        parts.append(cache_line)
     return "\n\n".join(parts)
 
 

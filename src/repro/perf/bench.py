@@ -9,9 +9,9 @@ reproducible from one command:
 
 .. code-block:: text
 
-    repro bench --workers 4            # full suite -> BENCH_PR8.json
+    repro bench --workers 4            # full suite -> BENCH_PR10.json
     repro bench --quick                # CI smoke subset
-    repro bench --quick --compare BENCH_PR4.json   # regression gate
+    repro bench --quick --compare BENCH_PR4.json,BENCH_PR8.json
 
 Measured per kernel:
 
@@ -122,9 +122,54 @@ def _memo_scenario(repeat: int) -> Dict[str, float]:
     }
 
 
+def _lp_scenario(repeat: int) -> Dict[str, object]:
+    """Certified-LP-core mini-scenario: decision cache cold vs warm.
+
+    Runs the same (kernel, config) warping simulation twice in one
+    process.  The first run populates the canonical-form decision cache
+    (all misses); the second — as sweeps over structurally identical
+    SCoPs do — answers every set query from the cache, so its ILP count
+    drops to zero.  Counters come from the certified core
+    (``ilp.warm_starts``, ``ilp.pivots``) and the memo
+    (``isl.memo_hits`` / ``isl.memo_misses``).
+    """
+    from repro.cache.config import CacheConfig
+    from repro.isl.sets import clear_decision_cache, decision_cache_size
+    from repro.polybench import build_kernel
+    from repro.simulation import simulate_warping
+
+    kernel = "gemm"
+    size = SCALED_L[kernel]
+    config = scaled_l1()
+    clear_decision_cache()
+    with obs.collect() as cold:
+        scop = build_kernel(kernel, size)
+        _, cold_s = _timed(lambda: simulate_warping(scop, config), repeat)
+    with obs.collect() as warm:
+        scop = build_kernel(kernel, size)
+        _, warm_s = _timed(lambda: simulate_warping(scop, config), 1)
+    hits = warm.counters.get("isl.memo_hits", 0)
+    misses = warm.counters.get("isl.memo_misses", 0)
+    total = hits + misses
+    return {
+        "kernel": kernel,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / max(warm_s, 1e-9), 3),
+        "memo_hits": hits,
+        "memo_misses": misses,
+        "hit_rate": round(hits / total, 4) if total else 0.0,
+        "cache_entries": decision_cache_size(),
+        "ilp_solves_cold": cold.counters.get("ilp.solves", 0),
+        "ilp_solves_warm": warm.counters.get("ilp.solves", 0),
+        "warm_starts": cold.counters.get("ilp.warm_starts", 0),
+        "pivots": cold.counters.get("ilp.pivots", 0),
+    }
+
+
 def run_bench(workers: int = 4, shards: Optional[int] = None,
               quick: bool = False, repeat: int = 1,
-              pr: int = 8) -> dict:
+              pr: int = 10) -> dict:
     """Run the bench suite and return the (validated) payload."""
     from repro.polybench import build_kernel
     from repro.simulation import simulate_nonwarping, simulate_warping
@@ -231,6 +276,7 @@ def run_bench(workers: int = 4, shards: Optional[int] = None,
             "warping_speedup_geomean": round(
                 _geomean(warp_speedups), 3),
             "memo": _memo_scenario(repeat),
+            "lp": _lp_scenario(repeat),
         },
     }
     validate_bench(payload)
@@ -274,6 +320,13 @@ def bench_summary(payload: dict) -> str:
     lines.append(
         f"  warp memo: cold {memo['cold_s']:.3f}s -> warm "
         f"{memo['warm_s']:.3f}s ({memo['speedup']:.2f}x)")
+    lp = summary.get("lp")
+    if lp:
+        lines.append(
+            f"  decision cache: cold {lp['ilp_solves_cold']} ilp "
+            f"solves -> warm {lp['ilp_solves_warm']} "
+            f"({lp['memo_hits']} hits / {lp['memo_misses']} misses, "
+            f"hit rate {100.0 * lp['hit_rate']:.0f}%)")
     if payload.get("phases"):
         lines.append(
             "  phase coverage (warping): " + ", ".join(

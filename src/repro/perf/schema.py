@@ -30,6 +30,11 @@ carry an optional top-level ``compare`` section — the regression-gate
 report of :func:`repro.perf.regress.compare_payloads` — recording what
 the fresh run was compared against and the verdict.  Earlier files
 remain valid without it.
+
+Since PR 10 the summary may carry an optional ``lp`` section — the
+certified-LP-core mini-scenario (decision-cache cold/warm timings and
+memo hit counters, see ``repro.perf.bench._lp_scenario``).  Earlier
+files remain valid without it.
 """
 
 from __future__ import annotations
@@ -168,6 +173,15 @@ def validate_bench(payload: dict) -> List[dict]:
     memo = _require(summary, "memo", dict, "bench.summary")
     for key in ("cold_s", "warm_s", "speedup"):
         _require(memo, key, (int, float), "bench.summary.memo")
+    lp = summary.get("lp")
+    if lp is not None:
+        if not isinstance(lp, dict):
+            raise BenchSchemaError("bench.summary.lp: expected an object")
+        for key in ("cold_s", "warm_s", "speedup", "hit_rate"):
+            _require(lp, key, (int, float), "bench.summary.lp")
+        for key in ("memo_hits", "memo_misses", "ilp_solves_cold",
+                    "ilp_solves_warm"):
+            _require(lp, key, int, "bench.summary.lp")
     compare = payload.get("compare")
     if compare is not None:
         if not isinstance(compare, dict):

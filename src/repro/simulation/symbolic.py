@@ -56,20 +56,23 @@ class SymbolicSetState:
                allocate: bool) -> bool:
         """Concrete update + re-symbolisation (SymUpSet); returns hit."""
         self.version += 1
-        for line, content in enumerate(self.blocks):
-            if content == block:
-                self.policy_state = policy.on_hit(self.policy_state,
-                                                  self.assoc, line)
-                self.syms[line] = sym
-                return True
-        if not allocate:
+        try:
+            # list.index scans at C speed — this lookup runs once per
+            # simulated access and dominates the symbolic hot path.
+            line = self.blocks.index(block)
+        except ValueError:
+            if not allocate:
+                return False
+            occupied = [content is not None for content in self.blocks]
+            line, self.policy_state = policy.on_miss(self.policy_state,
+                                                     self.assoc, occupied)
+            self.blocks[line] = block
+            self.syms[line] = sym
             return False
-        occupied = [content is not None for content in self.blocks]
-        line, self.policy_state = policy.on_miss(self.policy_state,
-                                                 self.assoc, occupied)
-        self.blocks[line] = block
+        self.policy_state = policy.on_hit(self.policy_state,
+                                          self.assoc, line)
         self.syms[line] = sym
-        return False
+        return True
 
     def rel_key(self, depth: int, current: Tuple[int, ...]) -> Tuple:
         """Hashable content key relative to the iteration ``current``.

@@ -31,7 +31,12 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
-from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.config import (
+    CacheConfig,
+    HierarchyConfig,
+    IndexFunction,
+    WritePolicy,
+)
 from repro.isl.affine import LinExpr
 from repro.isl.sets import BasicSet
 from repro.polyhedral.model import AccessNode, LoopNode, Scop
@@ -151,8 +156,6 @@ class _WarpingRunner:
         self.target = target
         self.levels: List[SymbolicCache] = list(target.levels)
         self.block_size = self.levels[0].config.block_size
-        from repro.cache.config import IndexFunction
-
         # Set sharding: when the target is built from sharded configs
         # (ShardedCacheConfig), only blocks of the shard's residue class
         # are accessed, and block shifts must additionally be multiples
@@ -279,11 +282,18 @@ class _WarpingRunner:
         analysis_cache: Dict = self._analysis_scope(loop, prefix)
         fail_streak = 0
         tracer = self._tracer
-        leaf_body = tracer is not None and all(
+        leaf_body = all(
             isinstance(child, AccessNode) for child in children)
         value = lo
         while value <= hi:
             if leaf_body and not matching:
+                if tracer is None:
+                    # Innermost loop with match detection off: the rest
+                    # of this execution is straight-line symbolic access
+                    # work — drain it through the batch fast path
+                    # (incremental addresses, inlined set lookup).
+                    self._run_leaf_batch(loop, prefix, value, hi)
+                    break
                 # Profiling, innermost loop, match detection off: the
                 # rest of this execution is pure symbolic access work —
                 # drain it under one timed window so the probe cost and
@@ -388,6 +398,118 @@ class _WarpingRunner:
                 matching or had_match):
             self._matchless_runs[id(loop)] = (
                 0 if had_match else matchless + 1)
+
+    def _run_leaf_batch(self, loop: LoopNode, prefix: Tuple[int, ...],
+                        value: int, hi: int) -> None:
+        """Drain ``value..hi`` of an innermost loop without match detection.
+
+        Semantically identical to running :meth:`run_access` for every
+        child at every in-domain iteration, but restructured for speed —
+        this is where warp-hostile kernels (match detection disabled
+        after ``max_matchless_executions``) spend essentially all their
+        time:
+
+        * each child's byte address is affine in the loop iterator, so it
+          is advanced by a constant per iteration instead of re-evaluated;
+        * children with no domain constraints skip the guard entirely;
+        * for an unsharded single cache with modulo placement, the whole
+          set lookup/update (``SymbolicCache.access`` +
+          ``SymbolicSetState.access``) is inlined with counters and the
+          MRU index kept in locals.
+        """
+        children = loop.children
+        stride = loop.stride
+        check_domain = not loop._bounds_exact
+        own_index = loop.depth - 1
+        block_size = self.block_size
+        first_point = prefix + (value,)
+        # [node, byte address, per-iteration step, guarded?, is_write]
+        infos = []
+        for node in children:
+            coeff = (node.coeff_vector()[own_index]
+                     if own_index < len(node.dims) else 0)
+            infos.append([node, node.addr_at(first_point),
+                          coeff * stride, node.domain is not None,
+                          node.is_write])
+        target = self.target
+        inline = None
+        if isinstance(target, SingleLevel) and self.shard_modulus == 1:
+            cfg = target.cache.config
+            if (type(cfg).index_of is CacheConfig.index_of
+                    and cfg.index_function is IndexFunction.MODULO):
+                inline = target.cache
+        count = 0
+        if inline is not None:
+            policy = inline.policy
+            sets = inline.sets
+            cfg = inline.config
+            num_sets = cfg.num_sets
+            assoc = cfg.assoc
+            allocate_writes = (cfg.write_policy
+                               is WritePolicy.WRITE_ALLOCATE)
+            on_hit = policy.on_hit
+            on_miss = policy.on_miss
+            hits = inline.hits
+            misses = inline.misses
+            mru = inline.mru_set
+            while value <= hi:
+                point = prefix + (value,)
+                if not check_domain or loop.in_domain(point):
+                    for info in infos:
+                        node = info[0]
+                        if info[3] and not node.in_domain(point):
+                            continue
+                        block = info[1] // block_size
+                        mru = block % num_sets
+                        state = sets[mru]
+                        state.version += 1
+                        blocks = state.blocks
+                        try:
+                            line = blocks.index(block)
+                        except ValueError:
+                            if info[4] and not allocate_writes:
+                                misses += 1
+                            else:
+                                occupied = [content is not None
+                                            for content in blocks]
+                                line, state.policy_state = on_miss(
+                                    state.policy_state, assoc, occupied)
+                                blocks[line] = block
+                                state.syms[line] = (node, point)
+                                misses += 1
+                        else:
+                            state.policy_state = on_hit(
+                                state.policy_state, assoc, line)
+                            state.syms[line] = (node, point)
+                            hits += 1
+                        count += 1
+                for info in infos:
+                    info[1] += info[2]
+                value += stride
+            inline.hits = hits
+            inline.misses = misses
+            inline.mru_set = mru
+        else:
+            target_access = target.access
+            modulus = self.shard_modulus
+            residue = self.shard_residue
+            while value <= hi:
+                point = prefix + (value,)
+                if not check_domain or loop.in_domain(point):
+                    for info in infos:
+                        node = info[0]
+                        if info[3] and not node.in_domain(point):
+                            continue
+                        block = info[1] // block_size
+                        if modulus > 1 and block % modulus != residue:
+                            continue
+                        count += 1
+                        target_access(block, (node, point), info[4])
+                for info in infos:
+                    info[1] += info[2]
+                value += stride
+        self.accesses += count
+        self.explicit_accesses += count
 
     # -- warping --------------------------------------------------------------------
 
@@ -899,10 +1021,10 @@ class _WarpingRunner:
             LinExpr.var(own) - i0)
         constrained = constrained.with_constraint_ge0(
             -LinExpr.var(own) + last_inclusive)
-        lo_addr = constrained.min_of(node.addr_expr)
-        if lo_addr is None:
+        addr_range = constrained.range_of(node.addr_expr)
+        if addr_range is None:
             return None
-        hi_addr = constrained.max_of(node.addr_expr)
+        lo_addr, hi_addr = addr_range
         return lo_addr // self.block_size, hi_addr // self.block_size
 
     def _touched_hull_fast(self, node: AccessNode, loop: LoopNode,

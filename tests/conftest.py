@@ -1,0 +1,17 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.isl.sets import clear_decision_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_decision_cache():
+    """Isolate tests from the process-global decision-procedure cache.
+
+    Counter-pinning tests (and any test asserting on ``ilp.*`` /
+    ``isl.*`` observability counters) assume a cold cache; without this
+    the counts would depend on which tests ran earlier in the process.
+    """
+    clear_decision_cache()
+    yield

@@ -1,0 +1,179 @@
+"""Canonical forms and decision-procedure memoization of BasicSet.
+
+Covers the two satellite bugfixes in this area: `_fresh_name`'s
+process-global counter used to make structurally identical sets never
+compare equal (so nothing could ever be memoized across builds), and
+`negate` used to apply strict-inequality reasoning to expressions with
+rational coefficients, which is unsound before integer scaling.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.isl.affine import LinExpr
+from repro.isl.sets import (
+    BasicSet,
+    DECISION_CACHE_LIMIT,
+    Set,
+    clear_decision_cache,
+    decision_cache_size,
+)
+
+
+def x(name, coeff=1):
+    return LinExpr.var(name, coeff)
+
+
+def div_set():
+    """{ i | 0 <= i <= 9 and i = 2*floor(i/2) } — the even points,
+    built with a fresh (process-globally counted) div name."""
+    base = BasicSet.from_bounds(["i"], {"i": (0, 9)})
+    extended, q = base.with_div(x("i"), 2)
+    return extended.with_constraint_eq0(x("i") - x(q, 2))
+
+
+class TestCanonicalKeys:
+    def test_independently_built_sets_share_keys(self):
+        """Pinned regression: two separate builds allocate different
+        fresh local names but must produce identical canonical keys,
+        compare equal, and hash equal."""
+        a, b = div_set(), div_set()
+        # The raw local names really are different...
+        assert a.divs[0][0] != b.divs[0][0]
+        # ...yet canonically the sets are the same.
+        assert a.canonical_key() == b.canonical_key()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_constraint_order_is_canonicalized(self):
+        lo, hi = x("i") - 1, -x("i") + 5
+        a = BasicSet(["i"], ineqs=[lo, hi])
+        b = BasicSet(["i"], ineqs=[hi, lo])
+        assert a == b
+
+    def test_scaling_is_canonicalized(self):
+        a = BasicSet(["i"], ineqs=[x("i") - 1])
+        b = BasicSet(["i"], ineqs=[x("i", 3) - 3])
+        c = BasicSet(["i"], ineqs=[x("i", Fraction(1, 2)) - Fraction(1, 2)])
+        assert a == b == c
+
+    def test_floor_tightening_identifies_equal_integer_sets(self):
+        # 2i >= 1 and i >= 1 contain the same integers.
+        a = BasicSet(["i"], ineqs=[x("i", 2) - 1])
+        b = BasicSet(["i"], ineqs=[x("i") - 1])
+        assert a == b
+        box = BasicSet.from_bounds(["i"], {"i": (-5, 5)})
+        assert box.intersect(a).enumerate_points() == \
+            box.intersect(b).enumerate_points() == \
+            [(v,) for v in range(1, 6)]
+
+    def test_equality_sign_is_canonicalized(self):
+        a = BasicSet(["i", "j"], eqs=[x("i") - x("j")])
+        b = BasicSet(["i", "j"], eqs=[x("j") - x("i")])
+        assert a == b
+
+    def test_contradictory_constants_collapse_to_empty_key(self):
+        a = BasicSet(["i"], ineqs=[LinExpr.const(-1)])
+        b = BasicSet(["i"], eqs=[x("i", 2) - 1])  # 2i == 1: no integers
+        assert a == b == BasicSet.empty(["i"])
+
+    def test_different_sets_have_different_keys(self):
+        a = BasicSet.from_bounds(["i"], {"i": (0, 4)})
+        b = BasicSet.from_bounds(["i"], {"i": (0, 5)})
+        assert a != b
+        assert a.canonical_key() != b.canonical_key()
+
+
+class TestDecisionMemo:
+    def test_second_build_hits_the_cache(self):
+        clear_decision_cache()
+        with obs.collect() as tracer:
+            assert not div_set().is_empty()
+            assert not div_set().is_empty()
+        assert tracer.counters["isl.memo_misses"] == 1
+        assert tracer.counters["isl.memo_hits"] == 1
+        assert decision_cache_size() == 1
+
+    def test_memoized_answers_match_fresh_answers(self):
+        clear_decision_cache()
+        box = BasicSet.from_bounds(["i"], {"i": (2, 11)})
+        cold = (box.sample(), box.lexmin(), box.lexmax(),
+                box.range_of(x("i", 3)))
+        rebuilt = BasicSet.from_bounds(["i"], {"i": (2, 11)})
+        warm = (rebuilt.sample(), rebuilt.lexmin(), rebuilt.lexmax(),
+                rebuilt.range_of(x("i", 3)))
+        assert cold == warm == ((2,), (2,), (11,), (6, 33))
+
+    def test_objective_is_part_of_the_key(self):
+        clear_decision_cache()
+        box = BasicSet.from_bounds(["i"], {"i": (0, 5)})
+        assert box.min_of(x("i")) == 0
+        assert box.min_of(x("i", -1)) == -5  # must not reuse the entry
+
+    def test_range_of_agrees_with_min_and_max(self):
+        box = BasicSet.from_bounds(["i", "j"], {"i": (0, 3), "j": (1, 4)})
+        expr = x("i", 2) - x("j")
+        assert box.range_of(expr) == (box.min_of(expr), box.max_of(expr))
+        assert BasicSet.empty(["i"]).range_of(x("i")) is None
+        union = Set(["i"], [BasicSet.from_bounds(["i"], {"i": (0, 2)}),
+                            BasicSet.from_bounds(["i"], {"i": (7, 9)})])
+        assert union.range_of(x("i")) == (0, 9)
+
+    def test_cache_is_bounded(self):
+        clear_decision_cache()
+        for offset in range(DECISION_CACHE_LIMIT + 50):
+            BasicSet.from_bounds(
+                ["i"], {"i": (offset, offset + 1)}).is_empty()
+        assert decision_cache_size() <= DECISION_CACHE_LIMIT
+
+
+# -- negate (strict-inequality satellite bugfix) -------------------------------
+
+
+class TestNegate:
+    def test_rational_inequality_negates_exactly(self):
+        """Pinned regression: with e = i/2, "not (e >= 0)" is i <= -1;
+        the unscaled rule "-e - 1 >= 0" would wrongly claim i <= -2."""
+        half = BasicSet(["i"], ineqs=[x("i", Fraction(1, 2))])
+        complement = half.negate()
+        assert complement.contains((-1,))
+        assert complement.contains((-2,))
+        assert not complement.contains((0,))
+
+    def test_rational_equality_negates_exactly(self):
+        line = BasicSet(["i"], eqs=[x("i", Fraction(1, 3)) - 1])  # i == 3
+        complement = line.negate()
+        for value in range(-6, 7):
+            assert complement.contains((value,)) == (value != 3)
+
+    @settings(deadline=None, max_examples=80)
+    @given(data=st.data())
+    def test_negate_differential_vs_enumeration(self, data):
+        """Complement within a box == box points minus set points, for
+        random constraints with rational coefficients."""
+        denominator = data.draw(st.sampled_from([1, 2, 3]))
+        n_cons = data.draw(st.integers(1, 3))
+        constraints = []
+        for _ in range(n_cons):
+            coeffs = {name: Fraction(data.draw(st.integers(-3, 3)),
+                                     denominator)
+                      for name in ["i", "j"]}
+            const = Fraction(data.draw(st.integers(-4, 4)), denominator)
+            constraints.append(LinExpr(coeffs, const))
+        as_eq = data.draw(st.booleans())
+        basic = BasicSet(
+            ["i", "j"],
+            eqs=constraints[:1] if as_eq else (),
+            ineqs=constraints[1:] if as_eq else constraints,
+        )
+        box = BasicSet.from_bounds(["i", "j"],
+                                   {"i": (-3, 3), "j": (-3, 3)})
+        inside = set(box.intersect(basic).enumerate_points())
+        complement_inside = set(
+            basic.negate().intersect_basic(box).enumerate_points())
+        everything = set(box.enumerate_points())
+        assert inside | complement_inside == everything
+        assert inside & complement_inside == set()
